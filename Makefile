@@ -1,0 +1,21 @@
+# Convenience targets; everything is plain pytest underneath.
+
+.PHONY: install test bench bench-tables examples all
+
+install:
+	pip install -e '.[test]' --no-build-isolation || \
+	  echo "$$(pwd)/src" > "$$(python -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth"
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+all: test bench-tables bench

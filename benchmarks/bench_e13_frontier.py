@@ -1,0 +1,142 @@
+"""E13 — the cross-model frontier: "who wins" across the paper's
+headline comparisons, on shared workloads.
+
+The paper's contribution table (Section 1.1) makes three comparative
+claims.  Each is measured here at matched parameterization:
+
+1. random-order triangles — Theorem 2.1 at (1+eps) vs the CJ-style
+   baseline and fixed-memory TRIEST;
+2. adjacency-list four-cycles — Theorem 4.2 vs pair-based sampling;
+3. arbitrary-order four-cycles — Theorem 5.3's m/T^{1/4} space vs
+   Bera–Chakrabarti's m^2/T, with the predicted crossover direction
+   for T below m^{4/3}.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BeraChakrabartiFourCycles,
+    CormodeJowhariTriangles,
+    TriestImpr,
+    WedgePairSamplingFourCycles,
+)
+from repro.core import (
+    FourCycleAdjacencyDiamond,
+    FourCycleArbitraryThreePass,
+    TriangleRandomOrder,
+)
+from repro.experiments import format_records, print_experiment, run_trials
+from repro.graphs import total_wedges
+from repro.streams import AdjacencyListStream, RandomOrderStream
+
+TRIALS = 5
+EPS = 0.3
+
+
+def _row(name, stats):
+    return {
+        "algorithm": name,
+        "median_rel_err": round(stats.median_relative_error, 4),
+        "mean_rel_err": round(stats.mean_relative_error, 4),
+        "median_space": stats.median_space,
+        "passes": stats.passes,
+    }
+
+
+def test_e13_triangle_frontier(heavy_triangle_workload):
+    workload = heavy_triangle_workload
+    truth = workload.triangles
+    mv = run_trials(
+        lambda seed: TriangleRandomOrder(t_guess=truth, epsilon=EPS, seed=seed),
+        lambda seed: RandomOrderStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    cj = run_trials(
+        lambda seed: CormodeJowhariTriangles(t_guess=truth, epsilon=EPS),
+        lambda seed: RandomOrderStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    triest = run_trials(
+        lambda seed: TriestImpr(memory=max(12, int(mv.median_space)), seed=seed),
+        lambda seed: RandomOrderStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    rows = [
+        _row("mv-triangle-ro (Thm 2.1)", mv),
+        _row("cormode-jowhari", cj),
+        _row("triest-impr", triest),
+    ]
+    print_experiment("E13 (triangles, heavy workload)", format_records(rows))
+    assert mv.mean_relative_error < cj.mean_relative_error
+    assert mv.median_relative_error < EPS
+
+
+def test_e13_adjacency_frontier(diamond_workload):
+    workload = diamond_workload
+    truth = workload.four_cycles
+    diamond = run_trials(
+        lambda seed: FourCycleAdjacencyDiamond(
+            t_guess=truth, epsilon=EPS, c=0.3, seed=seed
+        ),
+        lambda seed: AdjacencyListStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    wedges = total_wedges(workload.graph)
+    pair = run_trials(
+        lambda seed: WedgePairSamplingFourCycles.for_space_budget(
+            wedges, max(10, int(diamond.median_space)), seed=seed
+        ),
+        lambda seed: AdjacencyListStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    rows = [
+        _row("diamond (Thm 4.2)", diamond),
+        _row("wedge-pair sampling", pair),
+    ]
+    print_experiment("E13 (adjacency-list four-cycles)", format_records(rows))
+    assert diamond.median_relative_error < EPS
+
+
+def test_e13_arbitrary_frontier(medium_diamond_workload):
+    workload = medium_diamond_workload
+    truth = workload.four_cycles
+    threepass = run_trials(
+        lambda seed: FourCycleArbitraryThreePass(
+            t_guess=truth, epsilon=EPS, eta=2.0, c=0.6, use_log_factor=False, seed=seed
+        ),
+        lambda seed: RandomOrderStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    bc = run_trials(
+        lambda seed: BeraChakrabartiFourCycles(t_guess=truth, epsilon=EPS, seed=seed),
+        lambda seed: RandomOrderStream(workload.graph, seed=seed),
+        truth=truth,
+        trials=TRIALS,
+    )
+    rows = [
+        _row("three-pass (Thm 5.3)", threepass),
+        _row("bera-chakrabarti", bc),
+    ]
+    print_experiment("E13 (arbitrary-order four-cycles)", format_records(rows))
+    # who wins on space in the T < m^{4/3} regime: the paper's algorithm
+    assert truth < workload.m ** (4 / 3)
+    assert threepass.median_space < bc.median_space
+    assert threepass.median_relative_error < EPS
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_timing(benchmark, heavy_triangle_workload):
+    workload = heavy_triangle_workload
+
+    def run_once():
+        return TriangleRandomOrder(
+            t_guess=workload.triangles, epsilon=EPS, seed=1
+        ).run(RandomOrderStream(workload.graph, seed=1)).estimate
+
+    assert benchmark.pedantic(run_once, rounds=3, iterations=1) > 0

@@ -1,0 +1,56 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Workloads are session-scoped: building a graph and its exact counts is
+itself expensive, and every bench that shares a family should see the
+same instance so rows are comparable across files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_workload
+
+
+@pytest.fixture(scope="session")
+def light_triangle_workload():
+    return build_workload("light-triangles", n=900, num_triangles=200, noise_edges=1200)
+
+
+@pytest.fixture(scope="session")
+def heavy_triangle_workload():
+    return build_workload(
+        "heavy-and-light-triangles",
+        n=1500,
+        heavy_triangles=400,
+        light_triangles_count=150,
+    )
+
+
+@pytest.fixture(scope="session")
+def diamond_workload():
+    return build_workload(
+        "diamond-mixture",
+        n=2500,
+        large=(40,) * 8,
+        medium=(15,) * 16,
+        small=(4,) * 30,
+        noise_edges=600,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_diamond_workload():
+    return build_workload(
+        "medium-diamonds", n=4000, diamond_size=12, count=80, noise_edges=800
+    )
+
+
+@pytest.fixture(scope="session")
+def dense_workload():
+    return build_workload("dense-gnp", n=50, p=0.5)
+
+
+@pytest.fixture(scope="session")
+def sparse_c4_workload():
+    return build_workload("sparse-four-cycles", n=2000, num_cycles=350, noise_edges=500)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Why the stream *order* is a model: adversarial arrival demo.
+
+The same graph, the same algorithm, four arrival orders.  Theorem 2.1
+is a *random order* result: its heavy-edge identification reads
+evidence out of prefixes, so an adversary who front-loads the heavy
+edge starves it — that is the content of the Omega(m/sqrt(T)) lower
+bound.  The three-pass arbitrary-order algorithm (Theorem 5.3) pays
+two extra passes to be immune.
+
+Run:  python examples/adversarial_orders.py
+"""
+
+from repro.core import FourCycleArbitraryThreePass, TriangleRandomOrder
+from repro.experiments import format_records, print_experiment
+from repro.graphs import four_cycle_count, heavy_edge_graph, planted_diamonds, triangle_count
+from repro.streams import RandomOrderStream
+from repro.streams.orders import (
+    heavy_edges_first,
+    heavy_edges_last,
+    sorted_order,
+    vertex_grouped_order,
+)
+
+
+def triangle_order_sensitivity() -> None:
+    graph = heavy_edge_graph(900, heavy_triangles=250, light_triangles=80, seed=1)
+    truth = triangle_count(graph)
+    orders = {
+        "random (the model)": lambda: RandomOrderStream(graph, seed=11),
+        "heavy edge first (adversarial)": lambda: heavy_edges_first(graph, seed=11),
+        "heavy edge last (friendly)": lambda: heavy_edges_last(graph, seed=11),
+        "sorted edge list": lambda: sorted_order(graph),
+        "grouped by vertex": lambda: vertex_grouped_order(graph, seed=11),
+    }
+    rows = []
+    for label, stream_factory in orders.items():
+        result = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=5).run(
+            stream_factory()
+        )
+        rows.append(
+            {
+                "arrival_order": label,
+                "estimate": round(result.estimate, 1),
+                "rel_error": round(result.relative_error(truth), 3),
+            }
+        )
+    print_experiment(
+        f"Theorem 2.1 under different orders (truth = {truth} triangles)",
+        format_records(rows),
+    )
+
+
+def fourcycle_order_immunity() -> None:
+    graph = planted_diamonds(900, [8] * 10, extra_edges=300, seed=3)
+    truth = four_cycle_count(graph)
+    orders = {
+        "random": lambda: RandomOrderStream(graph, seed=11),
+        "sorted": lambda: sorted_order(graph),
+        "grouped by vertex": lambda: vertex_grouped_order(graph, seed=11),
+    }
+    rows = []
+    for label, stream_factory in orders.items():
+        result = FourCycleArbitraryThreePass(t_guess=truth, epsilon=0.3, seed=5).run(
+            stream_factory()
+        )
+        rows.append(
+            {
+                "arrival_order": label,
+                "estimate": round(result.estimate, 1),
+                "rel_error": round(result.relative_error(truth), 3),
+            }
+        )
+    print_experiment(
+        f"Theorem 5.3 under different orders (truth = {truth} four-cycles)",
+        format_records(rows),
+    )
+
+
+if __name__ == "__main__":
+    triangle_order_sensitivity()
+    fourcycle_order_immunity()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Four-cycle (C4) motif counting on a co-engagement graph.
+
+In bipartite-flavored interaction data (users x items, proteins x
+complexes), the four-cycle is the smallest non-trivial motif: two
+users interacting with the same two items.  Diamond structure —
+K_{2,h} blocks — is exactly what such data produces, and is the
+structure Theorem 4.2 exploits.
+
+This example builds a planted-diamond graph standing in for a
+co-engagement network and runs all four of the paper's C4 counters
+that apply, one per (model, pass-budget) cell:
+
+* adjacency list, 2 passes: the diamond algorithm (Theorem 4.2);
+* adjacency list, 1 pass:  the moment algorithm (Theorem 4.3a);
+* adjacency list, 1 pass:  the l2-sampling algorithm (Theorem 4.3b);
+* arbitrary order, 3 passes: Theorem 5.3.
+
+Run:  python examples/motif_fourcycles.py
+"""
+
+from repro.core import (
+    FourCycleAdjacencyDiamond,
+    FourCycleArbitraryThreePass,
+    FourCycleL2Sampling,
+    FourCycleMoment,
+)
+from repro.experiments import format_records, print_experiment
+from repro.graphs import dense_wedge_graph, four_cycle_count, planted_diamonds
+from repro.streams import AdjacencyListStream, RandomOrderStream
+
+
+def run_on_diamond_graph() -> None:
+    graph = planted_diamonds(
+        1500, sizes=[30] * 6 + [12] * 10 + [4] * 20, extra_edges=400, seed=4
+    )
+    truth = four_cycle_count(graph)
+
+    diamond = FourCycleAdjacencyDiamond(t_guess=truth, epsilon=0.3, seed=1).run(
+        AdjacencyListStream(graph, seed=9)
+    )
+    threepass = FourCycleArbitraryThreePass(t_guess=truth, epsilon=0.3, seed=1).run(
+        RandomOrderStream(graph, seed=9)
+    )
+    print_experiment(
+        f"Co-engagement graph: {truth} four-cycles (sparse, diamond-structured)",
+        format_records(
+            [
+                {
+                    "algorithm": "diamond (Thm 4.2)",
+                    "model": "adjacency",
+                    "passes": diamond.passes,
+                    "estimate": round(diamond.estimate, 1),
+                    "rel_error": round(diamond.relative_error(truth), 4),
+                },
+                {
+                    "algorithm": "three-pass (Thm 5.3)",
+                    "model": "arbitrary",
+                    "passes": threepass.passes,
+                    "estimate": round(threepass.estimate, 1),
+                    "rel_error": round(threepass.relative_error(truth), 4),
+                },
+            ]
+        ),
+    )
+
+
+def run_on_dense_graph() -> None:
+    """The large-T regime (T = Omega(n^2)) where the one-pass
+    algorithms of Theorem 4.3 apply."""
+    graph = dense_wedge_graph(50, p=0.5, seed=5)
+    truth = four_cycle_count(graph)
+
+    moment = FourCycleMoment(
+        t_guess=truth, epsilon=0.2, groups=7, group_size=40, seed=1
+    ).run(AdjacencyListStream(graph, seed=3))
+    l2 = FourCycleL2Sampling(
+        t_guess=truth, epsilon=0.2, num_samplers=60, groups=7, group_size=40, seed=1
+    ).run(AdjacencyListStream(graph, seed=3))
+
+    print_experiment(
+        f"Dense graph: {truth} four-cycles (T >> n^2 = {graph.num_vertices ** 2})",
+        format_records(
+            [
+                {
+                    "algorithm": "moments F2-F1 (Thm 4.3a)",
+                    "passes": moment.passes,
+                    "estimate": round(moment.estimate, 1),
+                    "rel_error": round(moment.relative_error(truth), 4),
+                },
+                {
+                    "algorithm": "l2 sampling (Thm 4.3b)",
+                    "passes": l2.passes,
+                    "estimate": round(l2.estimate, 1),
+                    "rel_error": round(l2.relative_error(truth), 4),
+                },
+            ]
+        ),
+    )
+
+
+if __name__ == "__main__":
+    run_on_diamond_graph()
+    run_on_dense_graph()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Triangle counting on a social-network-like stream.
+
+The paper's introduction motivates triangle counting with network
+analysis: triangle counts drive the transitivity (global clustering
+coefficient) of a social graph.  This example:
+
+1. generates a preferential-attachment graph (skewed degrees, organic
+   triangle structure — the shape of real follower graphs);
+2. estimates its triangle count from a single random-order pass
+   *without knowing T in advance*, using the geometric guess schedule;
+3. derives the transitivity estimate from the triangle estimate and
+   the exactly-countable wedge total;
+4. compares against the fixed-memory TRIEST baseline at the same
+   memory budget.
+
+Run:  python examples/social_network_triangles.py
+"""
+
+from repro.baselines import TriestImpr
+from repro.core import TriangleRandomOrder
+from repro.experiments import (
+    estimate_with_guesses,
+    format_records,
+    guess_schedule,
+    print_experiment,
+)
+from repro.graphs import barabasi_albert, total_wedges, triangle_count
+from repro.streams import RandomOrderStream
+
+
+def main() -> None:
+    graph = barabasi_albert(800, attach=5, seed=3)
+    truth = triangle_count(graph)
+    wedges = total_wedges(graph)
+    true_transitivity = 3.0 * truth / wedges
+
+    # ---- estimate T without knowing it: geometric guess schedule -----
+    outcome = estimate_with_guesses(
+        algorithm_factory=lambda guess, seed: TriangleRandomOrder(
+            t_guess=guess, epsilon=0.3, seed=seed
+        ),
+        stream_factory=lambda seed: RandomOrderStream(graph, seed=seed),
+        guesses=guess_schedule(graph.num_edges, levels=7),
+        seed=1,
+    )
+    print_experiment(
+        "Unknown-T calibration (one instance per guess)",
+        format_records(outcome.table()),
+    )
+
+    estimated_transitivity = 3.0 * outcome.estimate / wedges
+
+    # ---- fixed-memory comparator --------------------------------------
+    budget = max(12, graph.num_edges // 4)
+    triest = TriestImpr(memory=budget, seed=5).run(RandomOrderStream(graph, seed=11))
+
+    print_experiment(
+        "Social-graph triangle analysis",
+        format_records(
+            [
+                {
+                    "quantity": "triangles (exact)",
+                    "value": truth,
+                },
+                {
+                    "quantity": "triangles (Thm 2.1, unknown T)",
+                    "value": round(outcome.estimate, 1),
+                },
+                {
+                    "quantity": f"triangles (TRIEST-impr, {budget} edges)",
+                    "value": round(triest.estimate, 1),
+                },
+                {
+                    "quantity": "transitivity (exact)",
+                    "value": round(true_transitivity, 5),
+                },
+                {
+                    "quantity": "transitivity (estimated)",
+                    "value": round(estimated_transitivity, 5),
+                },
+            ]
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

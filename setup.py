@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is configured entirely in pyproject.toml; this file exists
+so environments without PEP 517 editable support (e.g. offline boxes
+missing the `wheel` package) can still `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — Triangle and four-cycle counting in the data stream model.
+
+A full reproduction of McGregor & Vorotnikova (PODS 2020): the three
+graph stream models, the paper's five algorithms and two lower-bound
+constructions, the baselines it improves on, and an experiment harness
+that validates every theorem's claim empirically.
+"""
+
+from . import api, baselines, core, experiments, graphs, lowerbounds, sketches, streams
+from .core import EstimateResult
+from .graphs import Graph
+from .streams import (
+    AdjacencyListStream,
+    ArbitraryOrderStream,
+    RandomOrderStream,
+    SpaceMeter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "api",
+    "baselines",
+    "core",
+    "experiments",
+    "graphs",
+    "lowerbounds",
+    "sketches",
+    "streams",
+    "EstimateResult",
+    "Graph",
+    "SpaceMeter",
+    "ArbitraryOrderStream",
+    "RandomOrderStream",
+    "AdjacencyListStream",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baselines the paper improves on, plus trivial reference counters."""
+
+from .bera_chakrabarti import BeraChakrabartiFourCycles
+from .cormode_jowhari import CormodeJowhariTriangles
+from .edge_sampling import EdgeSamplingFourCycles, EdgeSamplingTriangles
+from .exact_stream import ExactFourCycleStream, ExactTriangleStream
+from .mvv_twopass import TwoPassTriangles
+from .triest import TriestBase, TriestImpr
+from .wedge_pair_sampling import WedgePairSamplingFourCycles
+
+__all__ = [
+    "BeraChakrabartiFourCycles",
+    "CormodeJowhariTriangles",
+    "EdgeSamplingTriangles",
+    "EdgeSamplingFourCycles",
+    "ExactTriangleStream",
+    "ExactFourCycleStream",
+    "TwoPassTriangles",
+    "TriestBase",
+    "TriestImpr",
+    "WedgePairSamplingFourCycles",
+]

@@ -1,0 +1,54 @@
+"""Store-everything exact streaming counters.
+
+The trivial upper end of the space spectrum: buffer the whole stream
+(m words) and count exactly.  Used as ground truth inside streaming
+experiments and as the space ceiling in the frontier plots.
+"""
+
+from __future__ import annotations
+
+from ..core.result import EstimateResult
+from ..graphs import four_cycle_count, triangle_count
+from ..graphs.graph import Graph
+from ..streams.meter import SpaceMeter
+from ..streams.models import StreamSource
+
+
+class _ExactStream:
+    """Shared buffering logic for the two exact counters."""
+
+    name = "exact-stream"
+
+    def _collect(self, stream: StreamSource) -> tuple[Graph, SpaceMeter]:
+        meter = SpaceMeter()
+        graph = Graph()
+        for u, v in stream.edges():
+            if graph.add_edge(u, v):
+                meter.add("stored_edges")
+        return graph, meter
+
+
+class ExactTriangleStream(_ExactStream):
+    """One pass, m words, exact triangle count."""
+
+    name = "exact-triangles"
+
+    def run(self, stream: StreamSource) -> EstimateResult:
+        graph, meter = self._collect(stream)
+        count = triangle_count(graph)
+        return EstimateResult(float(count), stream.passes_taken, meter, self.name, {})
+
+
+class ExactFourCycleStream(_ExactStream):
+    """One pass, m words, exact four-cycle count.
+
+    In the adjacency list model each edge arrives twice; duplicates are
+    ignored, so the space is still m words.
+    """
+
+    name = "exact-fourcycles"
+
+    def run(self, stream: StreamSource) -> EstimateResult:
+        graph, meter = self._collect(stream)
+        count = four_cycle_count(graph)
+        return EstimateResult(float(count), stream.passes_taken, meter, self.name, {})

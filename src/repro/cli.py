@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``workloads``  — list the named workload families.
+* ``generate``   — build a workload and write it as an edge-list file.
+* ``exact``      — exact triangle / four-cycle counts of an edge list.
+* ``estimate``   — run a streaming algorithm over an edge-list file.
+* ``experiments``— print the experiment index (id -> bench target).
+
+Examples::
+
+    python -m repro generate diamond-mixture --out /tmp/g.txt
+    python -m repro exact /tmp/g.txt
+    python -m repro estimate /tmp/g.txt --problem four-cycles \
+        --model adjacency --epsilon 0.3 --trials 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from . import api
+from .experiments import ALL_WORKLOADS, build_workload, format_records
+from .graphs import four_cycle_count, graph_summary, triangle_count
+from .graphs.io import read_edge_list, write_edge_list
+
+EXPERIMENT_INDEX = [
+    ("E1", "Thm 2.1 accuracy vs baselines", "benchmarks/bench_e1_triangle_random_order.py"),
+    ("E2", "Thm 2.1 space ~ m/sqrt(T)", "benchmarks/bench_e2_triangle_space_scaling.py"),
+    ("E3", "Thm 2.6 / Figure 1 lower bound", "benchmarks/bench_e3_lowerbound_construction.py"),
+    ("E4", "Lemma 3.1 Useful Algorithm", "benchmarks/bench_e4_useful_algorithm.py"),
+    ("E5", "Thm 4.2 diamonds", "benchmarks/bench_e5_fourcycle_adjacency.py"),
+    ("E6", "Thm 4.3a moments", "benchmarks/bench_e6_fourcycle_moment.py"),
+    ("E7", "Thm 4.3b l2 sampling", "benchmarks/bench_e7_fourcycle_l2.py"),
+    ("E8", "Thm 5.3 three passes", "benchmarks/bench_e8_fourcycle_threepass.py"),
+    ("E9", "Thm 5.6 distinguisher", "benchmarks/bench_e9_distinguisher.py"),
+    ("E10", "Thm 5.7 one-pass dense", "benchmarks/bench_e10_onepass_dense.py"),
+    ("E11", "Thm 5.8 DISJ lower bound", "benchmarks/bench_e11_lowerbound_disj.py"),
+    ("E12", "Lemma 5.1 structural", "benchmarks/bench_e12_structural_lemma.py"),
+    ("E13", "cross-model frontier", "benchmarks/bench_e13_frontier.py"),
+    ("E14", "error-vs-space frontier curves", "benchmarks/bench_e14_error_vs_space.py"),
+    ("E15", "Section 4 tradeoff table", "benchmarks/bench_e15_adjacency_tradeoffs.py"),
+    ("A1", "ablations of design choices", "benchmarks/bench_a1_ablations.py"),
+    ("A2", "median-boost amplification", "benchmarks/bench_a2_boosting.py"),
+]
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [{"name": name} for name in sorted(ALL_WORKLOADS)]
+    print(format_records(rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = build_workload(args.name, **({"seed": args.seed} if args.seed is not None else {}))
+    header = (
+        f"workload={workload.name} params={workload.params} "
+        f"triangles={workload.triangles} four_cycles={workload.four_cycles}"
+    )
+    written = write_edge_list(workload.graph, args.out, header=header)
+    print(workload.describe())
+    print(f"wrote {written} edges to {args.out}")
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    graph, report = read_edge_list(args.path)
+    summary = graph_summary(graph)
+    rows = [{"quantity": key, "value": value} for key, value in summary.items()]
+    rows.append({"quantity": "duplicates_dropped", "value": report.duplicates_dropped})
+    rows.append({"quantity": "self_loops_dropped", "value": report.self_loops_dropped})
+    print(format_records(rows))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    graph, _report = read_edge_list(args.path)
+    estimates: List[float] = []
+    spaces: List[int] = []
+    passes = 0
+    for trial in range(args.trials):
+        result = api.estimate(
+            graph,
+            problem=args.problem,
+            model=args.model,
+            t_guess=args.t_guess,
+            epsilon=args.epsilon,
+            seed=args.seed + trial,
+            boost_copies=args.boost,
+        )
+        estimates.append(result.estimate)
+        spaces.append(result.space_items)
+        passes = result.passes
+    rows = [
+        {
+            "problem": args.problem,
+            "model": args.model,
+            "median_estimate": round(statistics.median(estimates), 2),
+            "trials": args.trials,
+            "passes": passes,
+            "median_space": statistics.median(spaces),
+        }
+    ]
+    if args.compare_exact:
+        truth = (
+            triangle_count(graph) if args.problem == "triangles" else four_cycle_count(graph)
+        )
+        rows[0]["exact"] = truth
+        if truth:
+            rows[0]["median_rel_err"] = round(
+                abs(statistics.median(estimates) - truth) / truth, 4
+            )
+    print(format_records(rows))
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from .experiments.suite import SUITE
+
+    rows = [
+        {
+            "id": exp_id,
+            "claim": claim,
+            "bench": bench,
+            "light_variant": "yes" if exp_id in SUITE else "",
+        }
+        for exp_id, claim, bench in EXPERIMENT_INDEX
+    ]
+    print(format_records(rows))
+    print(
+        "\nfull run:  pytest <bench> -s --benchmark-disable"
+        "\nlight run: python -m repro run-experiment <id>"
+    )
+    return 0
+
+
+def _cmd_paper_table(args: argparse.Namespace) -> int:
+    from .experiments.paper_table import paper_table
+
+    print("Section 1.1 contributions table, with measured columns")
+    print(format_records(paper_table(seed=args.seed, trials=args.trials)))
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    from .experiments.suite import SUITE, run_experiment
+
+    records = run_experiment(args.id, seed=args.seed)
+    experiment = SUITE[args.id.upper()]
+    print(experiment.title)
+    print(format_records(records))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Triangle and four-cycle counting in the data stream model "
+        "(McGregor & Vorotnikova, PODS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workload families").set_defaults(
+        func=_cmd_workloads
+    )
+
+    generate = sub.add_parser("generate", help="write a workload as an edge list")
+    generate.add_argument("name", help="workload name (see `workloads`)")
+    generate.add_argument("--out", required=True, help="output edge-list path")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=_cmd_generate)
+
+    exact = sub.add_parser("exact", help="exact counts of an edge-list file")
+    exact.add_argument("path")
+    exact.set_defaults(func=_cmd_exact)
+
+    estimate = sub.add_parser("estimate", help="streaming estimate over a file")
+    estimate.add_argument("path")
+    estimate.add_argument("--problem", choices=api.PROBLEMS, default="triangles")
+    estimate.add_argument("--model", choices=api.MODELS, default="random")
+    estimate.add_argument(
+        "--t-guess",
+        type=float,
+        default=None,
+        help="count parameter T; omit to auto-calibrate with a guess schedule",
+    )
+    estimate.add_argument("--epsilon", type=float, default=0.2)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--trials", type=int, default=1)
+    estimate.add_argument("--boost", type=int, default=1, help="median-boost copies")
+    estimate.add_argument(
+        "--compare-exact",
+        action="store_true",
+        help="also compute the exact count and report the error",
+    )
+    estimate.set_defaults(func=_cmd_estimate)
+
+    sub.add_parser("experiments", help="print the experiment index").set_defaults(
+        func=_cmd_experiments
+    )
+
+    table = sub.add_parser(
+        "paper-table", help="regenerate the paper's contributions table (measured)"
+    )
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--trials", type=int, default=3)
+    table.set_defaults(func=_cmd_paper_table)
+
+    run_exp = sub.add_parser(
+        "run-experiment", help="run a light experiment variant inline"
+    )
+    run_exp.add_argument("id", help="experiment id, e.g. E9")
+    run_exp.add_argument("--seed", type=int, default=0)
+    run_exp.set_defaults(func=_cmd_run_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

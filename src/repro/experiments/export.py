@@ -1,0 +1,69 @@
+"""Exporting experiment records to CSV / JSON.
+
+The benchmarks print ASCII tables for humans; this module writes the
+same record lists to files for plotting pipelines.  Kept dependency
+free (csv + json from the standard library).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def export_csv(records: Sequence[Dict[str, Any]], path: PathLike) -> int:
+    """Write records as CSV with the union of keys as the header.
+
+    Column order: keys of the first record first (in insertion order),
+    then any extra keys from later records (sorted).  Returns the
+    number of data rows written.
+    """
+    if not records:
+        raise ValueError("cannot export an empty record list")
+    leading = list(records[0].keys())
+    extras = sorted({k for record in records for k in record} - set(leading))
+    fieldnames = leading + extras
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return len(records)
+
+
+def export_json(
+    records: Sequence[Dict[str, Any]],
+    path: PathLike,
+    metadata: Dict[str, Any] = None,
+) -> int:
+    """Write records (plus optional run metadata) as a JSON document.
+
+    Layout: ``{"metadata": {...}, "records": [...]}`` — stable for
+    downstream plotting scripts.
+    """
+    if not records:
+        raise ValueError("cannot export an empty record list")
+    document = {"metadata": metadata or {}, "records": list(records)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False, default=_coerce)
+        handle.write("\n")
+    return len(records)
+
+
+def load_json(path: PathLike) -> List[Dict[str, Any]]:
+    """Read back the records of a document written by :func:`export_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return document["records"]
+
+
+def _coerce(value: Any):
+    """JSON fallback for numpy scalars and other number-likes."""
+    for attribute in ("item",):  # numpy scalars
+        if hasattr(value, attribute):
+            return value.item()
+    raise TypeError(f"cannot serialize {type(value).__name__}")

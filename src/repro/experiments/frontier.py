@@ -1,0 +1,112 @@
+"""Error-vs-space frontiers.
+
+The paper's headline claims are comparative: at a given space budget,
+who has the smaller error?  A frontier sweeps a budget knob (the
+constants ``c``, a prefix fraction, a memory cap), measures (median
+space, error) per setting across trials, and produces the curve a
+systems paper would plot.  The E14 benchmark prints these curves for
+the random-order triangle problem; the module is generic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from .runner import StreamFactory, run_trials
+
+
+@dataclass
+class FrontierPoint:
+    """One (budget knob, measured space, measured error) sample."""
+
+    knob: float
+    median_space: float
+    median_rel_error: float
+    mean_rel_error: float
+    success_rate: float
+
+
+@dataclass
+class Frontier:
+    """A labeled error-vs-space curve."""
+
+    label: str
+    points: List[FrontierPoint]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "algorithm": self.label,
+                "knob": p.knob,
+                "median_space": p.median_space,
+                "median_rel_err": round(p.median_rel_error, 4),
+                "mean_rel_err": round(p.mean_rel_error, 4),
+                "success@eps": round(p.success_rate, 3),
+            }
+            for p in self.points
+        ]
+
+    def error_at_space(self, budget: float) -> float:
+        """Smallest median error among points within the budget.
+
+        Returns ``inf`` if no point fits — i.e. the algorithm cannot
+        run this small.
+        """
+        feasible = [
+            p.median_rel_error for p in self.points if p.median_space <= budget
+        ]
+        return min(feasible) if feasible else float("inf")
+
+
+def measure_frontier(
+    label: str,
+    knobs: Sequence[float],
+    algorithm_for_knob: Callable[[float, int], Any],
+    stream_factory: StreamFactory,
+    truth: float,
+    epsilon: float,
+    trials: int = 5,
+    base_seed: int = 0,
+) -> Frontier:
+    """Sweep a budget knob and measure the (space, error) curve.
+
+    Args:
+        algorithm_for_knob: ``(knob, seed) -> algorithm``.
+        epsilon: the accuracy band used for the success-rate column.
+    """
+    points: List[FrontierPoint] = []
+    for index, knob in enumerate(knobs):
+        stats = run_trials(
+            algorithm_factory=lambda seed, _k=knob: algorithm_for_knob(_k, seed),
+            stream_factory=stream_factory,
+            truth=truth,
+            trials=trials,
+            base_seed=base_seed * 100 + index,
+        )
+        points.append(
+            FrontierPoint(
+                knob=knob,
+                median_space=stats.median_space,
+                median_rel_error=stats.median_relative_error,
+                mean_rel_error=stats.mean_relative_error,
+                success_rate=stats.success_rate(epsilon),
+            )
+        )
+    return Frontier(label=label, points=points)
+
+
+def dominates(winner: Frontier, loser: Frontier, budgets: Sequence[float]) -> bool:
+    """True if ``winner`` has error <= ``loser`` at every budget where
+    both are feasible (and strictly beats it somewhere)."""
+    some_strict = False
+    for budget in budgets:
+        w = winner.error_at_space(budget)
+        l = loser.error_at_space(budget)
+        if w == float("inf") or l == float("inf"):
+            continue
+        if w > l + 1e-12:
+            return False
+        if w < l - 1e-12:
+            some_strict = True
+    return some_strict

@@ -1,0 +1,129 @@
+"""Trial running and statistics for Monte Carlo streaming algorithms.
+
+Every algorithm in this library is randomized (and most are analyzed
+at constant success probability), so a single run proves nothing.  The
+runner executes independent trials — fresh algorithm seed *and* fresh
+stream randomness per trial — and summarizes the estimate and space
+distributions the experiments assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from ..core.result import EstimateResult
+from ..sketches.estimators import median
+from ..streams.models import StreamSource
+
+AlgorithmFactory = Callable[[int], Any]  # seed -> algorithm with .run()
+StreamFactory = Callable[[int], StreamSource]  # seed -> fresh stream
+
+
+@dataclass
+class TrialStats:
+    """Summary of repeated runs against a known ground truth."""
+
+    truth: float
+    estimates: List[float]
+    space_items: List[int]
+    passes: int
+    results: List[EstimateResult] = field(repr=False, default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def median_estimate(self) -> float:
+        return median(self.estimates)
+
+    @property
+    def median_relative_error(self) -> float:
+        """Relative error of the *median estimate* — the quantity the
+        paper's boost-by-median argument controls."""
+        if self.truth == 0:
+            return 0.0 if self.median_estimate == 0 else float("inf")
+        return abs(self.median_estimate - self.truth) / self.truth
+
+    @property
+    def per_trial_relative_errors(self) -> List[float]:
+        if self.truth == 0:
+            return [0.0 if e == 0 else float("inf") for e in self.estimates]
+        return [abs(e - self.truth) / self.truth for e in self.estimates]
+
+    @property
+    def mean_relative_error(self) -> float:
+        errors = self.per_trial_relative_errors
+        return sum(errors) / len(errors)
+
+    def success_rate(self, epsilon: float) -> float:
+        """Fraction of trials within a (1 +- epsilon) factor of truth."""
+        errors = self.per_trial_relative_errors
+        return sum(1 for e in errors if e <= epsilon) / len(errors)
+
+    @property
+    def median_space(self) -> float:
+        return median([float(s) for s in self.space_items])
+
+    @property
+    def max_space(self) -> int:
+        return max(self.space_items)
+
+    def summary_row(self) -> Dict[str, float]:
+        return {
+            "truth": self.truth,
+            "median_estimate": self.median_estimate,
+            "median_rel_error": self.median_relative_error,
+            "mean_rel_error": self.mean_relative_error,
+            "median_space": self.median_space,
+            "trials": self.trials,
+            "passes": self.passes,
+        }
+
+
+def run_trials(
+    algorithm_factory: AlgorithmFactory,
+    stream_factory: StreamFactory,
+    truth: float,
+    trials: int = 9,
+    base_seed: int = 0,
+) -> TrialStats:
+    """Run ``trials`` independent (algorithm, stream) pairs.
+
+    Trial ``i`` uses algorithm seed ``base_seed * 1000 + i`` and stream
+    seed ``base_seed * 1000 + 500 + i`` so neither is shared across
+    trials or between the two sources of randomness.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    estimates: List[float] = []
+    spaces: List[int] = []
+    results: List[EstimateResult] = []
+    passes = 0
+    for i in range(trials):
+        algorithm = algorithm_factory(base_seed * 1000 + i)
+        stream = stream_factory(base_seed * 1000 + 500 + i)
+        result = algorithm.run(stream)
+        estimates.append(result.estimate)
+        spaces.append(result.space_items)
+        results.append(result)
+        passes = result.passes
+    return TrialStats(
+        truth=truth,
+        estimates=estimates,
+        space_items=spaces,
+        passes=passes,
+        results=results,
+    )
+
+
+def decision_rate(
+    decide: Callable[[int], bool], trials: int = 15, base_seed: int = 0
+) -> float:
+    """Fraction of trials on which ``decide(seed)`` returns True —
+    used for the distinguisher and lower-bound protocol experiments."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    hits = sum(1 for i in range(trials) if decide(base_seed * 1000 + i))
+    return hits / trials

@@ -1,0 +1,220 @@
+"""Named workload families for the experiment suite.
+
+The paper has no datasets; each experiment in EXPERIMENTS.md draws its
+graphs from one of these families.  A workload bundles the graph with
+its exact counts (our ground truth) and the generator parameters, so a
+benchmark row is fully reproducible from the workload name and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+from ..graphs import (
+    Graph,
+    dense_wedge_graph,
+    erdos_renyi,
+    four_cycle_count,
+    friendship_graph,
+    heavy_edge_graph,
+    planted_diamonds,
+    planted_four_cycles,
+    planted_triangles,
+    triangle_count,
+)
+
+
+@dataclass
+class Workload:
+    """A graph plus its exact counts and provenance."""
+
+    name: str
+    graph: Graph = field(repr=False)
+    triangles: int
+    four_cycles: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def m(self) -> int:
+        return self.graph.num_edges
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: n={self.n} m={self.m} "
+            f"T3={self.triangles} T4={self.four_cycles}"
+        )
+
+
+def _wrap(name: str, graph: Graph, **params: Any) -> Workload:
+    return Workload(
+        name=name,
+        graph=graph,
+        triangles=triangle_count(graph),
+        four_cycles=four_cycle_count(graph),
+        params=params,
+    )
+
+
+# ----------------------------------------------------------------------
+# triangle workloads (E1, E2)
+# ----------------------------------------------------------------------
+def light_triangles(
+    n: int = 900, num_triangles: int = 200, noise_edges: int = 1200, seed: int = 0
+) -> Workload:
+    """Disjoint planted triangles + noise: every edge is light."""
+    graph = planted_triangles(n, num_triangles, extra_edges=noise_edges, seed=seed)
+    return _wrap(
+        "light-triangles", graph, n=n, planted=num_triangles, noise=noise_edges, seed=seed
+    )
+
+
+def heavy_and_light_triangles(
+    n: int = 1500,
+    heavy_triangles: int = 400,
+    light_triangles_count: int = 150,
+    seed: int = 0,
+) -> Workload:
+    """One heavy edge (a triangle book) plus light triangles — the
+    adversarial case for prefix samplers (Theorem 2.1's motivation)."""
+    graph = heavy_edge_graph(n, heavy_triangles, light_triangles_count, seed=seed)
+    return _wrap(
+        "heavy-and-light-triangles",
+        graph,
+        n=n,
+        heavy=heavy_triangles,
+        light=light_triangles_count,
+        seed=seed,
+    )
+
+
+def social_like_triangles(n: int = 500, attach: int = 4, seed: int = 0) -> Workload:
+    """Preferential-attachment graph: skewed degrees, organic triangles."""
+    from ..graphs import barabasi_albert
+
+    graph = barabasi_albert(n, attach, seed=seed)
+    return _wrap("social-like-triangles", graph, n=n, attach=attach, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# four-cycle workloads (E5-E10)
+# ----------------------------------------------------------------------
+def diamond_mixture(
+    n: int = 2500,
+    large: Sequence[int] = (40,) * 8,
+    medium: Sequence[int] = (15,) * 16,
+    small: Sequence[int] = (4,) * 30,
+    noise_edges: int = 600,
+    seed: int = 0,
+) -> Workload:
+    """Diamonds across three size decades + noise (Theorem 4.2 driver)."""
+    sizes = list(large) + list(medium) + list(small)
+    graph = planted_diamonds(n, sizes, extra_edges=noise_edges, seed=seed)
+    return _wrap("diamond-mixture", graph, n=n, sizes=sizes, noise=noise_edges, seed=seed)
+
+
+def sparse_four_cycles(
+    n: int = 2000, num_cycles: int = 350, noise_edges: int = 500, seed: int = 0
+) -> Workload:
+    """Disjoint planted four-cycles + noise (Theorem 5.3 driver)."""
+    graph = planted_four_cycles(n, num_cycles, extra_edges=noise_edges, seed=seed)
+    return _wrap(
+        "sparse-four-cycles", graph, n=n, planted=num_cycles, noise=noise_edges, seed=seed
+    )
+
+
+def medium_diamonds(
+    n: int = 4000, diamond_size: int = 12, count: int = 80, noise_edges: int = 800, seed: int = 0
+) -> Workload:
+    """Many same-size diamonds: large T with moderate per-edge counts
+    (the low-variance regime of the three-pass algorithm)."""
+    graph = planted_diamonds(n, [diamond_size] * count, extra_edges=noise_edges, seed=seed)
+    return _wrap(
+        "medium-diamonds", graph, n=n, size=diamond_size, count=count, seed=seed
+    )
+
+
+def dense_gnp(n: int = 60, p: float = 0.5, seed: int = 0) -> Workload:
+    """Dense G(n, p): T4 = Theta(n^4 p^4) — the large-T regime of
+    Theorems 4.3 and 5.7."""
+    graph = dense_wedge_graph(n, p, seed=seed)
+    return _wrap("dense-gnp", graph, n=n, p=p, seed=seed)
+
+
+def four_cycle_free(n_triangles: int = 200) -> Workload:
+    """The friendship graph: triangles but zero four-cycles (the NO
+    instance for the Theorem 5.6 distinguisher)."""
+    graph = friendship_graph(n_triangles)
+    return _wrap("four-cycle-free", graph, triangles=n_triangles)
+
+
+def noisy_gnp(n: int = 300, p: float = 0.05, seed: int = 0) -> Workload:
+    """A plain sparse random graph — the unstructured control."""
+    graph = erdos_renyi(n, p, seed=seed)
+    return _wrap("noisy-gnp", graph, n=n, p=p, seed=seed)
+
+
+def power_law(n: int = 400, exponent: float = 2.3, seed: int = 0) -> Workload:
+    """Chung–Lu heavy-tailed degrees: counts concentrate on hub edges."""
+    from ..graphs.generators import power_law_graph
+
+    graph = power_law_graph(n, exponent=exponent, seed=seed)
+    return _wrap("power-law", graph, n=n, exponent=exponent, seed=seed)
+
+
+def user_item(
+    users: int = 300,
+    items: int = 120,
+    interactions_per_user: int = 5,
+    popular_items: int = 8,
+    seed: int = 0,
+) -> Workload:
+    """User-item co-engagement bipartite graph: triangle-free,
+    diamond-rich — the motivating shape for Theorem 4.2."""
+    from ..graphs.generators import user_item_bipartite
+
+    graph = user_item_bipartite(
+        users,
+        items,
+        interactions_per_user,
+        popular_items=popular_items,
+        seed=seed,
+    )
+    return _wrap(
+        "user-item",
+        graph,
+        users=users,
+        items=items,
+        interactions=interactions_per_user,
+        popular=popular_items,
+        seed=seed,
+    )
+
+
+ALL_WORKLOADS = {
+    "light-triangles": light_triangles,
+    "heavy-and-light-triangles": heavy_and_light_triangles,
+    "social-like-triangles": social_like_triangles,
+    "diamond-mixture": diamond_mixture,
+    "sparse-four-cycles": sparse_four_cycles,
+    "medium-diamonds": medium_diamonds,
+    "dense-gnp": dense_gnp,
+    "four-cycle-free": four_cycle_free,
+    "noisy-gnp": noisy_gnp,
+    "power-law": power_law,
+    "user-item": user_item,
+}
+
+
+def build_workload(name: str, **overrides: Any) -> Workload:
+    """Construct a workload by registry name."""
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return factory(**overrides)

@@ -1,0 +1,234 @@
+"""Exact subgraph counting — the ground truth for every experiment.
+
+The streaming algorithms in :mod:`repro.core` are compared against the
+exact triangle and four-cycle counts computed here.  Everything in this
+module is deterministic and exhaustively tested against networkx.
+
+Key identities used throughout the paper and this library:
+
+* A *wedge* is a path of length two.  For a pair of vertices ``{u, v}``
+  let ``x[uv] = |N(u) & N(v)|`` be the number of wedges with endpoints
+  ``u`` and ``v`` (the paper's vector ``x``).
+
+* The number of four-cycles satisfies ``sum_{u<v} C(x[uv], 2) == 2 * C4``
+  because every four-cycle ``a-b-c-d`` is counted once through each of
+  its two diagonals ``{a, c}`` and ``{b, d}``.
+
+* A *(u, v)-diamond* of size ``h`` (paper Section 4.1) is the complete
+  bipartite graph between ``{u, v}`` and their ``h`` common neighbors;
+  it contains ``C(h, 2)`` four-cycles, and ``h == x[uv]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .graph import Edge, Graph, Vertex, normalize_edge
+
+
+def _choose2(k: int) -> int:
+    """``k choose 2`` for non-negative integers."""
+    return k * (k - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# triangles
+# ----------------------------------------------------------------------
+def triangle_count(graph: Graph) -> int:
+    """Exact number of triangles.
+
+    Sums, over every edge ``{u, v}``, the number of common neighbors of
+    ``u`` and ``v``; each triangle is seen once per edge, so the sum is
+    ``3 * T``.
+    """
+    total = 0
+    for u, v in graph.edges():
+        small, large = _ordered_by_degree(graph, u, v)
+        total += sum(1 for w in graph.neighbors(small) if w in graph.neighbors(large))
+    return total // 3
+
+
+def per_edge_triangle_counts(graph: Graph) -> Dict[Edge, int]:
+    """Map each edge to ``t_e``, the number of triangles containing it."""
+    counts: Dict[Edge, int] = {}
+    for u, v in graph.edges():
+        small, large = _ordered_by_degree(graph, u, v)
+        shared = sum(1 for w in graph.neighbors(small) if w in graph.neighbors(large))
+        counts[normalize_edge(u, v)] = shared
+    return counts
+
+
+def max_edge_triangle_count(graph: Graph) -> int:
+    """The largest ``t_e`` over all edges — the paper's heavy-edge driver."""
+    counts = per_edge_triangle_counts(graph)
+    return max(counts.values(), default=0)
+
+
+def triangles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
+    """Enumerate every triangle once as a sorted vertex triple."""
+    for u, v in graph.edges():
+        for w in graph.neighbors(u):
+            if w in graph.neighbors(v):
+                triple = tuple(sorted((u, v, w)))
+                if (triple[0], triple[1]) == (u, v):
+                    yield triple  # emit only from the lexicographically first edge
+
+
+# ----------------------------------------------------------------------
+# wedges (the vector x of Section 4.2)
+# ----------------------------------------------------------------------
+def wedge_counts(graph: Graph) -> Dict[Tuple[Vertex, Vertex], int]:
+    """The wedge vector ``x``: for each unordered pair ``{u, v}`` with at
+    least one common neighbor, the number of common neighbors.
+
+    Pairs with no common neighbor are omitted (their count is 0).
+    Runs in ``O(sum_t deg(t)^2)`` time.
+    """
+    counts: Dict[Tuple[Vertex, Vertex], int] = {}
+    for center in graph.vertices():
+        neighbor_list = sorted(graph.neighbors(center))
+        for i, u in enumerate(neighbor_list):
+            for v in neighbor_list[i + 1 :]:
+                pair = normalize_edge(u, v)
+                counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def total_wedges(graph: Graph) -> int:
+    """Total number of wedges (paths of length two) in the graph."""
+    return sum(_choose2(graph.degree(v)) for v in graph.vertices())
+
+
+def diamond_sizes(graph: Graph) -> Dict[Tuple[Vertex, Vertex], int]:
+    """Sizes ``d(u, v)`` of all diamonds with at least two wedges.
+
+    The (u, v)-diamond has size ``|N(u) & N(v)|``; only diamonds of size
+    at least 2 contain a four-cycle, so smaller ones are filtered out.
+    """
+    return {pair: h for pair, h in wedge_counts(graph).items() if h >= 2}
+
+
+# ----------------------------------------------------------------------
+# four-cycles
+# ----------------------------------------------------------------------
+def four_cycle_count(graph: Graph) -> int:
+    """Exact number of four-cycles via the diagonal-wedge identity.
+
+    ``2 * C4 == sum_{u<v} C(x[uv], 2)`` — each cycle counted once per
+    diagonal.
+    """
+    doubled = sum(_choose2(h) for h in wedge_counts(graph).values())
+    if doubled % 2:  # defensive: the identity guarantees evenness
+        raise AssertionError("wedge identity produced an odd doubled count")
+    return doubled // 2
+
+
+def per_edge_four_cycle_counts(graph: Graph) -> Dict[Edge, int]:
+    """Map each edge to the number of four-cycles containing it.
+
+    For edge ``{u, v}`` this counts pairs ``(w, z)`` with
+    ``w in N(v) \\ {u}``, ``z in N(u) \\ {v}``, ``w != z`` and
+    ``{w, z}`` an edge — i.e. cycles ``u-v-w-z``.
+    """
+    counts: Dict[Edge, int] = {}
+    for u, v in graph.edges():
+        count = 0
+        for w in graph.neighbors(v):
+            if w == u:
+                continue
+            for z in graph.neighbors(u):
+                if z == v or z == w:
+                    continue
+                if z in graph.neighbors(w):
+                    count += 1
+        counts[normalize_edge(u, v)] = count
+    return counts
+
+
+def max_edge_four_cycle_count(graph: Graph) -> int:
+    """The largest per-edge four-cycle count (heaviness, Section 5)."""
+    counts = per_edge_four_cycle_counts(graph)
+    return max(counts.values(), default=0)
+
+
+def four_cycles(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex, Vertex]]:
+    """Enumerate each four-cycle once.
+
+    A cycle is emitted as ``(a, b, c, d)`` where ``a`` is its smallest
+    vertex, ``b < d`` are its neighbors on the cycle, and ``c`` is the
+    vertex opposite ``a``.  This canonical form yields each cycle
+    exactly once.
+    """
+    for a in graph.vertices():
+        for b in graph.neighbors(a):
+            if not _lt(a, b):
+                continue
+            for d in graph.neighbors(a):
+                if not _lt(b, d):
+                    continue
+                for c in graph.neighbors(b):
+                    if c == a or not _lt(a, c):
+                        continue
+                    if c in graph.neighbors(d):
+                        yield (a, b, c, d)
+
+
+def count_four_cycles_through_pair(graph: Graph, e1: Edge, e2: Edge) -> int:
+    """Number of four-cycles containing both (vertex-disjoint) edges.
+
+    Opposite edges ``{a, b}`` and ``{c, d}`` lie on a common four-cycle
+    in up to two ways: ``a-b-c-d`` (needs edges bc, da) or ``a-b-d-c``
+    (needs edges bd, ca).  Returns 0 for pairs sharing a vertex.
+    """
+    a, b = e1
+    c, d = e2
+    if len({a, b, c, d}) < 4:
+        return 0
+    count = 0
+    if graph.has_edge(b, c) and graph.has_edge(d, a):
+        count += 1
+    if graph.has_edge(b, d) and graph.has_edge(c, a):
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# clustering / summary statistics
+# ----------------------------------------------------------------------
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Fraction of wedges that are closed into a triangle (transitivity)."""
+    wedges = total_wedges(graph)
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / wedges
+
+
+def graph_summary(graph: Graph) -> Dict[str, float]:
+    """A small statistics bundle used by the experiment reports."""
+    return {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "max_degree": graph.max_degree(),
+        "triangles": triangle_count(graph),
+        "four_cycles": four_cycle_count(graph),
+        "wedges": total_wedges(graph),
+        "transitivity": global_clustering_coefficient(graph),
+    }
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _ordered_by_degree(graph: Graph, u: Vertex, v: Vertex) -> Tuple[Vertex, Vertex]:
+    """Order a pair so the lower-degree endpoint comes first (fast scans)."""
+    if graph.degree(u) <= graph.degree(v):
+        return u, v
+    return v, u
+
+
+def _lt(a: Vertex, b: Vertex) -> bool:
+    """Total order on vertices, robust to mixed types."""
+    try:
+        return a < b  # type: ignore[operator]
+    except TypeError:
+        return repr(a) < repr(b)

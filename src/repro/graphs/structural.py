@@ -1,0 +1,142 @@
+"""Structural analysis: heavy edges, bad-edge spectra, Lemma 5.1.
+
+The paper's Section 5 revolves around *bad* edges — edges lying in at
+least ``eta * sqrt(T)`` four-cycles — and Lemma 5.1's claim that at
+least ``T (1 - 82/eta)`` cycles contain at most one of them.  These
+helpers compute the relevant quantities exactly, for experiment E12,
+for workload design (how adversarial is this graph?), and for anyone
+studying the heaviness structure of their own data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from .exact import (
+    four_cycle_count,
+    four_cycles,
+    per_edge_four_cycle_counts,
+    per_edge_triangle_counts,
+)
+from .graph import Edge, Graph, normalize_edge
+
+
+def heavy_triangle_edges(graph: Graph, threshold: float) -> Set[Edge]:
+    """Edges contained in at least ``threshold`` triangles."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    return {
+        edge
+        for edge, count in per_edge_triangle_counts(graph).items()
+        if count >= threshold
+    }
+
+
+def bad_four_cycle_edges(graph: Graph, eta: float) -> Set[Edge]:
+    """The paper's bad edges: in at least ``eta * sqrt(T)`` four-cycles.
+
+    ``T`` is the graph's exact four-cycle count; a four-cycle-free
+    graph has no bad edges by definition.
+    """
+    if eta <= 0:
+        raise ValueError(f"eta must be positive, got {eta}")
+    total = four_cycle_count(graph)
+    if total == 0:
+        return set()
+    threshold = eta * math.sqrt(total)
+    return {
+        edge
+        for edge, count in per_edge_four_cycle_counts(graph).items()
+        if count >= threshold
+    }
+
+
+def cycles_by_bad_edge_count(graph: Graph, eta: float) -> Dict[int, int]:
+    """Histogram: number of bad edges (0..4) -> number of four-cycles.
+
+    The exact version of the paper's ``T_0, T_1, T_2, T_3, T_4``
+    decomposition (Lemma 5.1's proof objects).
+    """
+    bad = bad_four_cycle_edges(graph, eta)
+    histogram: Dict[int, int] = {i: 0 for i in range(5)}
+    for a, b, c, d in four_cycles(graph):
+        edges = (
+            normalize_edge(a, b),
+            normalize_edge(b, c),
+            normalize_edge(c, d),
+            normalize_edge(d, a),
+        )
+        histogram[sum(1 for e in edges if e in bad)] += 1
+    return histogram
+
+
+@dataclass
+class Lemma51Report:
+    """Exact check of Lemma 5.1 for one (graph, eta)."""
+
+    eta: float
+    total_cycles: int
+    cycles_with_at_most_one_bad: int
+    bad_edges: int
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        return self.cycles_with_at_most_one_bad >= self.bound
+
+    @property
+    def slack(self) -> float:
+        """How far above the bound the graph sits (cycles)."""
+        return self.cycles_with_at_most_one_bad - self.bound
+
+
+def check_lemma51(graph: Graph, eta: float) -> Lemma51Report:
+    """Evaluate Lemma 5.1 exactly: ``good >= T (1 - 82/eta)``."""
+    histogram = cycles_by_bad_edge_count(graph, eta)
+    total = sum(histogram.values())
+    good = histogram[0] + histogram[1]
+    bound = max(0.0, total * (1.0 - 82.0 / eta))
+    return Lemma51Report(
+        eta=eta,
+        total_cycles=total,
+        cycles_with_at_most_one_bad=good,
+        bad_edges=len(bad_four_cycle_edges(graph, eta)),
+        bound=bound,
+    )
+
+
+def wedge_histogram(graph: Graph) -> Dict[int, int]:
+    """Histogram of the wedge vector: x value -> number of pairs.
+
+    The shape of this histogram decides which Section 4 algorithm
+    fits: a heavy tail (big diamonds) favors Theorem 4.2's grouping;
+    a flat bulk with ``F2 ~ 4T`` is Theorem 4.3 territory.
+    """
+    from .exact import wedge_counts
+
+    histogram: Dict[int, int] = {}
+    for value in wedge_counts(graph).values():
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def heaviness_summary(graph: Graph) -> Dict[str, float]:
+    """A compact adversariality profile used by workload design."""
+    triangle_counts = per_edge_triangle_counts(graph)
+    cycle_counts = per_edge_four_cycle_counts(graph)
+    t3_total = sum(triangle_counts.values()) // 3
+    t4_total = sum(cycle_counts.values()) // 4
+    return {
+        "triangles": t3_total,
+        "four_cycles": t4_total,
+        "max_edge_triangles": max(triangle_counts.values(), default=0),
+        "max_edge_four_cycles": max(cycle_counts.values(), default=0),
+        "triangle_concentration": (
+            max(triangle_counts.values(), default=0) / t3_total if t3_total else 0.0
+        ),
+        "four_cycle_concentration": (
+            max(cycle_counts.values(), default=0) / t4_total if t4_total else 0.0
+        ),
+    }

@@ -1,0 +1,40 @@
+"""Lower-bound constructions and communication reductions."""
+
+from .communication import DisjointnessInstance, IndexInstance
+from .index_reduction import (
+    IndexProtocolOutcome,
+    IndexReductionInstance,
+    ReductionFailure,
+    build_index_reduction,
+    run_index_protocol,
+)
+from .figure1 import (
+    Figure1Construction,
+    RandomPartitionOutcome,
+    build_figure1,
+    prefix_reveals_special_pair,
+    run_random_partition_protocol,
+)
+from .two_stars import (
+    TwoStarConstruction,
+    build_two_stars,
+    solve_disjointness_with_distinguisher,
+)
+
+__all__ = [
+    "IndexInstance",
+    "DisjointnessInstance",
+    "Figure1Construction",
+    "RandomPartitionOutcome",
+    "build_figure1",
+    "IndexReductionInstance",
+    "IndexProtocolOutcome",
+    "ReductionFailure",
+    "build_index_reduction",
+    "run_index_protocol",
+    "run_random_partition_protocol",
+    "prefix_reveals_special_pair",
+    "TwoStarConstruction",
+    "build_two_stars",
+    "solve_disjointness_with_distinguisher",
+]

@@ -1,0 +1,98 @@
+"""Communication-complexity problem instances.
+
+The paper's two lower bounds reduce from one-way INDEX (Theorem 2.7,
+random-partition setting) and multi-round DISJOINTNESS (Theorem 5.8).
+These classes generate random instances and check protocol answers;
+the reductions in :mod:`repro.lowerbounds.figure1` and
+:mod:`repro.lowerbounds.two_stars` embed them into graph streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class IndexInstance:
+    """One-way INDEX: Alice holds ``bits``, Bob holds ``index``.
+
+    Bob must output ``bits[index]``.  Randomized one-way communication
+    complexity is Omega(len(bits)) for success probability 4/5.
+    """
+
+    bits: List[int]
+    index: int
+
+    @property
+    def answer(self) -> int:
+        return self.bits[self.index]
+
+    @classmethod
+    def random(cls, length: int, seed: int = 0) -> "IndexInstance":
+        rng = random.Random(f"index-{seed}")
+        bits = [rng.randrange(2) for _ in range(length)]
+        return cls(bits=bits, index=rng.randrange(length))
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """Set disjointness: strings ``s1`` (Alice) and ``s2`` (Bob).
+
+    Output 1 iff some position has ``s1[x] == s2[x] == 1``.  Randomized
+    communication complexity is Omega(len) in any number of rounds
+    (Kalyanasundaram–Schnitger / Razborov).
+    """
+
+    s1: List[int]
+    s2: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.s1) != len(self.s2):
+            raise ValueError("DISJ strings must have equal length")
+
+    @property
+    def answer(self) -> int:
+        return int(any(a and b for a, b in zip(self.s1, self.s2)))
+
+    @property
+    def intersection_indices(self) -> List[int]:
+        return [x for x, (a, b) in enumerate(zip(self.s1, self.s2)) if a and b]
+
+    @classmethod
+    def random(cls, length: int, seed: int = 0) -> "DisjointnessInstance":
+        """A uniformly random instance (answer distribution unconstrained)."""
+        rng = random.Random(f"disj-{seed}")
+        return cls(
+            s1=[rng.randrange(2) for _ in range(length)],
+            s2=[rng.randrange(2) for _ in range(length)],
+        )
+
+    @classmethod
+    def random_with_answer(
+        cls, length: int, answer: int, seed: int = 0, density: float = 0.3
+    ) -> "DisjointnessInstance":
+        """A random instance conditioned on the answer.
+
+        For ``answer == 0`` the supports are drawn disjoint; for
+        ``answer == 1`` exactly one intersection position is planted
+        (the hardest promise version).
+        """
+        rng = random.Random(f"disj-promise-{seed}-{answer}")
+        s1 = [0] * length
+        s2 = [0] * length
+        for x in range(length):
+            roll = rng.random()
+            if roll < density:
+                s1[x] = 1
+            elif roll < 2 * density:
+                s2[x] = 1
+        if answer:
+            x = rng.randrange(length)
+            s1[x] = 1
+            s2[x] = 1
+        instance = cls(s1=s1, s2=s2)
+        if instance.answer != answer:
+            raise AssertionError("instance construction failed to hit the answer")
+        return instance

@@ -1,0 +1,220 @@
+"""The Figure 1 / Theorem 2.6 lower-bound construction.
+
+A tri-partite graph on ``(U, V, W)`` with ``|U| = |V| = n`` and
+``|W| = 2 n T``:
+
+* ``E_x``: edge ``(u_i, v_j)`` iff the hidden matrix bit ``x[i][j]`` is 1;
+* every vertex of ``U | V`` gets ``T`` random neighbors in ``W``, all
+  neighborhoods pairwise disjoint — except ``u_{i*}`` and ``v_{j*}``,
+  which share the *same* ``T`` neighbors.
+
+The graph then has exactly ``T`` triangles if ``x[i*][j*] == 1`` and is
+triangle-free otherwise, yet a short random-order prefix carries no
+information about which pair ``(i*, j*)`` is special — the property
+that drives the Omega(m / sqrt(T)) random-order bound.
+
+This module builds the construction, verifies its combinatorics, and
+simulates the Theorem 2.7 random-partition protocol with an arbitrary
+streaming algorithm standing in for the one-way message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..graphs.graph import Graph
+
+
+@dataclass
+class Figure1Construction:
+    """A fully materialized instance of the Figure 1 graph."""
+
+    n: int
+    t: int
+    x: List[List[int]]
+    i_star: int
+    j_star: int
+    graph: Graph = field(repr=False)
+    uv_edges: List[Tuple[str, str]] = field(repr=False)
+    star_edges: List[Tuple[str, str]] = field(repr=False)
+
+    @property
+    def planted_bit(self) -> int:
+        return self.x[self.i_star][self.j_star]
+
+    @property
+    def expected_triangles(self) -> int:
+        return self.t if self.planted_bit else 0
+
+    def all_edges(self) -> List[Tuple[str, str]]:
+        return self.uv_edges + self.star_edges
+
+
+def u_name(i: int) -> str:
+    return f"u{i}"
+
+
+def v_name(j: int) -> str:
+    return f"v{j}"
+
+
+def w_name(k: int) -> str:
+    return f"w{k}"
+
+
+def build_figure1(
+    n: int,
+    t: int,
+    seed: int = 0,
+    x: Sequence[Sequence[int]] = None,
+    i_star: int = None,
+    j_star: int = None,
+) -> Figure1Construction:
+    """Build the construction (random ``x, i*, j*`` unless supplied).
+
+    Args:
+        n: side length of the hidden matrix (|U| = |V| = n).
+        t: the triangle count ``T`` planted when the hidden bit is 1.
+        seed: drives the random matrix, the special pair and the random
+            W-neighborhood assignment.
+    """
+    if n < 1 or t < 1:
+        raise ValueError("need n >= 1 and t >= 1")
+    rng = random.Random(f"figure1-{seed}")
+    if x is None:
+        x = [[rng.randrange(2) for _ in range(n)] for _ in range(n)]
+    else:
+        x = [list(row) for row in x]
+    if i_star is None:
+        i_star = rng.randrange(n)
+    if j_star is None:
+        j_star = rng.randrange(n)
+
+    graph = Graph()
+    uv_edges: List[Tuple[str, str]] = []
+    for i in range(n):
+        for j in range(n):
+            if x[i][j]:
+                edge = (u_name(i), v_name(j))
+                graph.add_edge(*edge)
+                uv_edges.append(edge)
+
+    # W: 2nT vertices; hand out disjoint T-blocks, one per U|V vertex,
+    # except v_{j*} reuses u_{i*}'s block.
+    w_ids = list(range(2 * n * t))
+    rng.shuffle(w_ids)
+    star_edges: List[Tuple[str, str]] = []
+    cursor = 0
+    blocks: Dict[str, List[int]] = {}
+    for i in range(n):
+        blocks[u_name(i)] = w_ids[cursor : cursor + t]
+        cursor += t
+    for j in range(n):
+        if j == j_star:
+            blocks[v_name(j)] = blocks[u_name(i_star)]
+        else:
+            blocks[v_name(j)] = w_ids[cursor : cursor + t]
+            cursor += t
+    for name, block in blocks.items():
+        for k in block:
+            edge = (name, w_name(k))
+            graph.add_edge(*edge)
+            star_edges.append(edge)
+
+    return Figure1Construction(
+        n=n,
+        t=t,
+        x=x,
+        i_star=i_star,
+        j_star=j_star,
+        graph=graph,
+        uv_edges=uv_edges,
+        star_edges=star_edges,
+    )
+
+
+@dataclass
+class RandomPartitionOutcome:
+    """Result of one simulated Theorem 2.7 protocol run."""
+
+    decided_positive: bool
+    truth_positive: bool
+    communication_items: int
+    alice_tokens: int
+    bob_tokens: int
+
+    @property
+    def correct(self) -> bool:
+        return self.decided_positive == self.truth_positive
+
+
+def run_random_partition_protocol(
+    construction: Figure1Construction,
+    algorithm_factory,
+    alice_probability: float,
+    seed: int = 0,
+    decision_threshold: float = None,
+) -> RandomPartitionOutcome:
+    """Simulate the random-partition one-way protocol of Theorem 2.7.
+
+    Every edge token is revealed to Alice independently with probability
+    ``alice_probability`` (the paper's ``p = c / sqrt(T)``), the rest to
+    Bob.  Alice streams her tokens (in random order) into the algorithm,
+    "sends" its state — we charge its peak space as the communication —
+    and Bob streams his tokens into the same algorithm object, then
+    thresholds the estimate to decide 0 vs T triangles.
+
+    Args:
+        algorithm_factory: ``() -> algorithm`` with a ``run(stream)``
+            API; the combined Alice+Bob token order forms one stream.
+        decision_threshold: estimate threshold for the positive answer
+            (default ``t / 2``).
+    """
+    from ..streams.models import ArbitraryOrderStream
+
+    rng = random.Random(f"partition-{seed}")
+    alice: List[Tuple[str, str]] = []
+    bob: List[Tuple[str, str]] = []
+    for edge in construction.all_edges():
+        (alice if rng.random() < alice_probability else bob).append(edge)
+    rng.shuffle(alice)
+    rng.shuffle(bob)
+
+    stream = ArbitraryOrderStream(alice + bob)
+    algorithm = algorithm_factory()
+    result = algorithm.run(stream)
+    threshold = construction.t / 2.0 if decision_threshold is None else decision_threshold
+    return RandomPartitionOutcome(
+        decided_positive=result.estimate >= threshold,
+        truth_positive=bool(construction.planted_bit),
+        communication_items=result.space_items,
+        alice_tokens=len(alice),
+        bob_tokens=len(bob),
+    )
+
+
+def prefix_reveals_special_pair(
+    construction: Figure1Construction, prefix_fraction: float, seed: int = 0
+) -> bool:
+    """Does a random prefix already expose the special pair?
+
+    The lower bound's engine is that a random prefix of length
+    ``~ m / sqrt(T)`` almost never contains two star edges to the same
+    W vertex — the only witness that identifies ``(i*, j*)``.  Returns
+    True iff the prefix contains a W vertex of degree 2.
+    """
+    rng = random.Random(f"prefix-{seed}")
+    edges = list(construction.all_edges())
+    rng.shuffle(edges)
+    take = int(len(edges) * prefix_fraction)
+    seen_w: Set[str] = set()
+    for a, b in edges[:take]:
+        w = b if b.startswith("w") else (a if a.startswith("w") else None)
+        if w is None:
+            continue
+        if w in seen_w:
+            return True
+        seen_w.add(w)
+    return False

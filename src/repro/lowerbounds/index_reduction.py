@@ -1,0 +1,214 @@
+"""The Theorem 2.7 INDEX reduction, implemented step by step.
+
+:mod:`repro.lowerbounds.figure1` simulates the *random-partition*
+protocol abstractly (split a pre-built graph's tokens at random).
+This module instead executes the reduction from the paper verbatim:
+given an INDEX instance — Alice holds a random string ``z``, Bob an
+index ``k`` — the players use shared randomness to *jointly construct*
+a Figure-1 graph whose triangle count encodes ``z[k]``:
+
+1. Public randomness fixes which matrix positions are "Alice's"
+   (exactly ``|z|`` of them), an ordering of those positions, the
+   special pair ``(i*, j*) = position(k)``, and per-vertex
+   ``b_r ~ Bin(T, p)`` star-degree splits.
+2. Alice populates her matrix positions with the bits of ``z`` and
+   attaches ``b_r`` fresh W-neighbors to every hub vertex ``r`` (all
+   W degrees at most 1 on her side).
+3. Bob fills the remaining matrix positions with his own random bits,
+   tops every non-special hub up to ``T`` W-neighbors, and makes the
+   special pair's neighborhoods identical: each adopts the other's
+   Alice-side neighbors, plus ``T - b_{u*} - b_{v*}`` fresh *shared*
+   vertices (the construction fails when that is negative — the
+   ``T p^2`` variational-distance event in the paper's proof).
+
+The resulting graph has exactly ``T`` triangles iff ``z[k] = 1``.  A
+streaming algorithm run over Alice's tokens (random order), handed
+over (its state is the one-way message; we charge its space), and
+finished on Bob's tokens therefore solves INDEX — which costs
+``Omega(n^2 p)`` communication, giving the ``Omega(m / sqrt(T))``
+random-order lower bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.graph import Graph
+from .communication import IndexInstance
+from .figure1 import u_name, v_name, w_name
+
+
+class ReductionFailure(Exception):
+    """The ``T - b_u* - b_v* < 0`` failure event (probability ~ T p^2)."""
+
+
+@dataclass
+class IndexReductionInstance:
+    """The jointly constructed graph, split by who contributed what."""
+
+    n: int
+    t: int
+    p: float
+    index_instance: IndexInstance
+    i_star: int
+    j_star: int
+    alice_edges: List[Tuple[str, str]] = field(repr=False)
+    bob_edges: List[Tuple[str, str]] = field(repr=False)
+
+    @property
+    def hidden_bit(self) -> int:
+        return self.index_instance.answer
+
+    @property
+    def expected_triangles(self) -> int:
+        return self.t if self.hidden_bit else 0
+
+    def graph(self) -> Graph:
+        return Graph.from_edges(self.alice_edges + self.bob_edges)
+
+
+def build_index_reduction(
+    instance: IndexInstance,
+    n: int,
+    t: int,
+    p: float,
+    seed: int = 0,
+) -> IndexReductionInstance:
+    """Execute the joint construction for one INDEX instance.
+
+    Args:
+        instance: Alice's bits and Bob's index.  ``len(instance.bits)``
+            positions of the n x n matrix are designated Alice's; it
+            must not exceed ``n**2``.
+        n: matrix side (|U| = |V| = n).
+        t: the triangle count ``T`` encoded by the hidden bit.
+        p: the nominal Alice-share probability (used only for the
+            ``b_r ~ Bin(T, p)`` splits; the matrix split is exact by
+            conditioning, as in the paper's event ``C``).
+        seed: the players' public randomness.
+
+    Raises:
+        ReductionFailure: on the ``T - b_u* - b_v* < 0`` event.
+        ValueError: on impossible parameters.
+    """
+    length = len(instance.bits)
+    if length > n * n:
+        raise ValueError(f"{length} Alice positions do not fit an {n}x{n} matrix")
+    if not 0 < p < 1:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    rng = random.Random(f"index-reduction-{seed}")
+
+    # public randomness: Alice's positions, their ordering, the pair
+    positions = [(i, j) for i in range(n) for j in range(n)]
+    rng.shuffle(positions)
+    alice_positions = positions[:length]
+    bob_positions = positions[length:]
+    i_star, j_star = alice_positions[instance.index]
+
+    # public randomness: the Bin(T, p) star-degree splits
+    hubs = [u_name(i) for i in range(n)] + [v_name(j) for j in range(n)]
+    b_split: Dict[str, int] = {
+        r: sum(1 for _ in range(t) if rng.random() < p) for r in hubs
+    }
+    special_u, special_v = u_name(i_star), v_name(j_star)
+    if t - b_split[special_u] - b_split[special_v] < 0:
+        raise ReductionFailure(
+            "shared-neighborhood budget negative "
+            f"(b_u*={b_split[special_u]}, b_v*={b_split[special_v]}, T={t})"
+        )
+
+    # W pool: 2 n T vertices, handed out without reuse
+    w_pool = list(range(2 * n * t))
+    rng.shuffle(w_pool)
+    cursor = 0
+
+    def take(count: int) -> List[int]:
+        nonlocal cursor
+        if cursor + count > len(w_pool):
+            raise ValueError("W pool exhausted; increase its size")
+        block = w_pool[cursor : cursor + count]
+        cursor += count
+        return block
+
+    alice_edges: List[Tuple[str, str]] = []
+    bob_edges: List[Tuple[str, str]] = []
+
+    # Alice: her matrix bits are z; her star edges are the b_r blocks
+    for position, bit in zip(alice_positions, instance.bits):
+        if bit:
+            alice_edges.append((u_name(position[0]), v_name(position[1])))
+    alice_neighbors: Dict[str, List[int]] = {}
+    for r in hubs:
+        alice_neighbors[r] = take(b_split[r])
+        alice_edges.extend((r, w_name(k)) for k in alice_neighbors[r])
+
+    # Bob: iid bits on his matrix positions
+    for position in bob_positions:
+        if rng.random() < 0.5:
+            bob_edges.append((u_name(position[0]), v_name(position[1])))
+    # Bob: top up the non-special hubs to exactly T
+    for r in hubs:
+        if r in (special_u, special_v):
+            continue
+        bob_edges.extend((r, w_name(k)) for k in take(t - b_split[r]))
+    # Bob: identify the special pair's neighborhoods
+    bob_edges.extend((special_u, w_name(k)) for k in alice_neighbors[special_v])
+    bob_edges.extend((special_v, w_name(k)) for k in alice_neighbors[special_u])
+    shared = take(t - b_split[special_u] - b_split[special_v])
+    for k in shared:
+        bob_edges.append((special_u, w_name(k)))
+        bob_edges.append((special_v, w_name(k)))
+
+    return IndexReductionInstance(
+        n=n,
+        t=t,
+        p=p,
+        index_instance=instance,
+        i_star=i_star,
+        j_star=j_star,
+        alice_edges=alice_edges,
+        bob_edges=bob_edges,
+    )
+
+
+@dataclass
+class IndexProtocolOutcome:
+    """One run of the one-way protocol built from a streaming algorithm."""
+
+    answered: int
+    truth: int
+    communication_items: int
+
+    @property
+    def correct(self) -> bool:
+        return self.answered == self.truth
+
+
+def run_index_protocol(
+    reduction: IndexReductionInstance,
+    algorithm_factory,
+    seed: int = 0,
+    decision_threshold: Optional[float] = None,
+) -> IndexProtocolOutcome:
+    """Alice streams her tokens, sends the algorithm state, Bob
+    finishes and thresholds the estimate to answer INDEX."""
+    from ..streams.models import ArbitraryOrderStream
+
+    rng = random.Random(f"index-protocol-{seed}")
+    alice = list(reduction.alice_edges)
+    bob = list(reduction.bob_edges)
+    rng.shuffle(alice)
+    rng.shuffle(bob)
+    stream = ArbitraryOrderStream(alice + bob)
+    algorithm = algorithm_factory()
+    result = algorithm.run(stream)
+    threshold = (
+        reduction.t / 2.0 if decision_threshold is None else decision_threshold
+    )
+    return IndexProtocolOutcome(
+        answered=int(result.estimate >= threshold),
+        truth=reduction.hidden_bit,
+        communication_items=result.space_items,
+    )

@@ -1,0 +1,36 @@
+"""Sketching substrate: hashing, AMS, CountSketch, l2 sampling, wedges."""
+
+from .ams import AmsF2Sketch
+from .countsketch import CountSketch
+from .estimators import (
+    mean,
+    median,
+    median_of_means,
+    relative_error,
+    within_factor,
+)
+from .hashing import MERSENNE_PRIME, KWiseHash, hash_family, stable_key
+from .l2_sampler import L2Sampler, L2SamplerBank
+from .misra_gries import MisraGries
+from .reservoir import ReservoirSampler, UniformItemSampler
+from .wedge_f2 import WedgeF2Estimator
+
+__all__ = [
+    "MERSENNE_PRIME",
+    "KWiseHash",
+    "hash_family",
+    "stable_key",
+    "AmsF2Sketch",
+    "CountSketch",
+    "L2Sampler",
+    "L2SamplerBank",
+    "MisraGries",
+    "ReservoirSampler",
+    "UniformItemSampler",
+    "WedgeF2Estimator",
+    "mean",
+    "median",
+    "median_of_means",
+    "relative_error",
+    "within_factor",
+]

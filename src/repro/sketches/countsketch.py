@@ -1,0 +1,70 @@
+"""CountSketch: linear sketch with per-coordinate recovery.
+
+Each of ``rows`` rows hashes keys into ``width`` buckets (pairwise
+independent) with a 4-wise sign; a coordinate's value is recovered as
+the median over rows of ``sign * bucket``.  The recovery error of any
+single coordinate is ``O(sqrt(F2 / width))`` with high probability.
+
+This is the workhorse inside the l2 sampler (Section 4.2.4) and is
+independently useful, so it lives in the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from .estimators import median
+from .hashing import KWiseHash, hash_family
+
+
+class CountSketch:
+    """A ``rows x width`` CountSketch table."""
+
+    def __init__(self, rows: int = 5, width: int = 256, seed: int = 0) -> None:
+        if rows < 1 or width < 1:
+            raise ValueError("rows and width must be positive")
+        self.rows = rows
+        self.width = width
+        self._buckets: List[KWiseHash] = hash_family(rows, k=2, seed=seed * 2 + 1)
+        self._signs: List[KWiseHash] = hash_family(rows, k=4, seed=seed * 2 + 2)
+        self._table: List[List[float]] = [[0.0] * width for _ in range(rows)]
+        # per-key (bucket, sign) rows, memoized: streams hit the same
+        # coordinate many times (e.g. one wedge-vector entry per wedge)
+        self._key_cache: dict = {}
+
+    def _locate(self, key: Hashable):
+        cached = self._key_cache.get(key)
+        if cached is None:
+            cached = [
+                (self._buckets[r].bucket(key, self.width), self._signs[r].sign(key))
+                for r in range(self.rows)
+            ]
+            self._key_cache[key] = cached
+        return cached
+
+    def update(self, key: Hashable, delta: float = 1.0) -> None:
+        """Apply ``f[key] += delta``."""
+        for r, (bucket, sign) in enumerate(self._locate(key)):
+            self._table[r][bucket] += delta * sign
+
+    def query(self, key: Hashable) -> float:
+        """Estimate ``f[key]`` (median over rows)."""
+        return median(
+            [sign * self._table[r][bucket] for r, (bucket, sign) in enumerate(self._locate(key))]
+        )
+
+    def merge(self, other: "CountSketch") -> None:
+        """Combine with a sketch of another stream (same layout/seeds)."""
+        if self.rows != other.rows or self.width != other.width:
+            raise ValueError("can only merge sketches with identical layout")
+        if any(a.seed != b.seed for a, b in zip(self._signs, other._signs)):
+            raise ValueError("can only merge sketches with identical seeds")
+        for r in range(self.rows):
+            row, other_row = self._table[r], other._table[r]
+            for b in range(self.width):
+                row[b] += other_row[b]
+
+    @property
+    def space_items(self) -> int:
+        """Words of state (the table cells)."""
+        return self.rows * self.width

@@ -1,0 +1,69 @@
+"""Estimator-combination utilities: mean, median, median-of-means.
+
+The paper's algorithms are Monte Carlo: a basic estimator with the
+right expectation and bounded variance is repeated and combined.  These
+helpers implement the standard combinations with explicit, tested
+semantics (even-length medians average the middle pair, empty inputs
+raise, group counts are validated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; the average of the middle pair for even lengths."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def median_of_means(values: Sequence[float], groups: int) -> float:
+    """Split ``values`` into ``groups`` contiguous groups, average each,
+    return the median of the averages.
+
+    The classic boost: means drive variance down by the group size,
+    the median drives failure probability down exponentially in the
+    number of groups.  ``len(values)`` must be divisible by ``groups``.
+    """
+    if groups < 1:
+        raise ValueError(f"need at least one group, got {groups}")
+    if not values:
+        raise ValueError("median_of_means of empty sequence")
+    if len(values) % groups:
+        raise ValueError(
+            f"{len(values)} values do not split evenly into {groups} groups"
+        )
+    size = len(values) // groups
+    group_means: List[float] = [
+        mean(values[g * size : (g + 1) * size]) for g in range(groups)
+    ]
+    return median(group_means)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth``; exact-zero truth compares exactly."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def within_factor(estimate: float, truth: float, factor: float) -> bool:
+    """True when ``truth/factor <= estimate <= truth*factor`` (both > 0)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if truth <= 0 or estimate <= 0:
+        return truth == estimate
+    return truth / factor <= estimate <= truth * factor

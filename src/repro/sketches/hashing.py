@@ -1,0 +1,129 @@
+"""k-wise independent hash families.
+
+Every randomized choice the algorithms make that must be *queryable
+without storing the sample* — "is vertex v in the level-i sample V_i?",
+"what is the sign alpha_u?" — goes through a hash function from the
+classic polynomial family over the Mersenne prime ``P = 2^61 - 1``:
+
+    h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod P
+
+which is k-wise independent when the coefficients are uniform.  The
+paper's algorithms need pairwise (sampling) and 4-wise (the AMS-style
+sign vectors of Section 4.2) independence; callers pick ``k``.
+
+Keys may be integers, strings, or (nested) tuples thereof; they are
+folded into integers by a fixed injective-enough encoding so that the
+same key always maps to the same value regardless of Python's
+per-process hash randomization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List
+
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+def stable_key(value: Hashable) -> int:
+    """Fold a vertex / edge / tuple key into a non-negative integer.
+
+    Integers map to themselves (offset to be non-negative), strings via
+    their UTF-8 bytes, and tuples by polynomial combination — all
+    independent of ``PYTHONHASHSEED`` so experiments are reproducible.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; keep it distinct
+        return 7 if value else 11
+    if isinstance(value, int):
+        return value % MERSENNE_PRIME if value >= 0 else (MERSENNE_PRIME - 1 - (-value % MERSENNE_PRIME))
+    if isinstance(value, str):
+        acc = 5381
+        for byte in value.encode("utf-8"):
+            acc = (acc * 131 + byte) % MERSENNE_PRIME
+        return acc
+    if isinstance(value, tuple):
+        acc = 104729
+        for item in value:
+            acc = (acc * 1000003 + stable_key(item) + 1) % MERSENNE_PRIME
+        return acc
+    if isinstance(value, frozenset):
+        return stable_key(tuple(sorted(stable_key(item) for item in value)))
+    raise TypeError(f"unsupported hash key type: {type(value).__name__}")
+
+
+class KWiseHash:
+    """A member of the degree-``(k-1)`` polynomial hash family.
+
+    Provides raw values in ``[0, P)`` plus the derived views the
+    algorithms need: uniforms in ``[0, 1)``, Bernoulli indicators,
+    +-1 signs, and small-range buckets.
+    """
+
+    def __init__(self, k: int, seed: int) -> None:
+        if k < 1:
+            raise ValueError(f"independence degree must be >= 1, got {k}")
+        rng = random.Random(("kwise", k, seed).__repr__())
+        self.k = k
+        self.seed = seed
+        # leading coefficient nonzero keeps the polynomial degree exact
+        self._coeffs: List[int] = [rng.randrange(1, MERSENNE_PRIME)]
+        self._coeffs.extend(rng.randrange(MERSENNE_PRIME) for _ in range(k - 1))
+
+    def value(self, key: Hashable) -> int:
+        """The raw hash value in ``[0, MERSENNE_PRIME)``."""
+        x = stable_key(key)
+        acc = 0
+        for coeff in self._coeffs:
+            acc = (acc * x + coeff) % MERSENNE_PRIME
+        return acc
+
+    def uniform(self, key: Hashable) -> float:
+        """A deterministic pseudo-uniform value in ``(0, 1)``.
+
+        The value is bounded away from zero (by ``1/P``) so it is safe
+        to divide by — as the l2 sampler's ``1/sqrt(u)`` scaling does.
+        """
+        return (self.value(key) + 1) / (MERSENNE_PRIME + 1)
+
+    def bernoulli(self, key: Hashable, p: float) -> bool:
+        """Indicator with ``P[true] = p`` — the sampling primitive.
+
+        Membership in a hash-defined sample set is queryable at any time
+        without storing the set, exactly as the paper's ``V_i = {v :
+        f_i(v) = 1}`` construction requires.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        return self.value(key) < p * MERSENNE_PRIME
+
+    def sign(self, key: Hashable) -> int:
+        """A +-1 value (4-wise independent when ``k >= 4``)."""
+        return 1 if self.value(key) & 1 else -1
+
+    def bucket(self, key: Hashable, buckets: int) -> int:
+        """A bucket index in ``[0, buckets)`` (CountSketch rows etc.)."""
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        return self.value(key) % buckets
+
+    def choice4(self, key: Hashable, p0: float, p1: float, p2: float) -> int:
+        """A four-way choice with probabilities ``p0, p1, p2, 1-p0-p1-p2``.
+
+        Used by the three-pass algorithm's sub-sampling hash ``f`` of
+        Section 5.1 (outputs 0/1/2/3).
+        """
+        if min(p0, p1, p2) < 0 or p0 + p1 + p2 > 1 + 1e-12:
+            raise ValueError("probabilities must be non-negative and sum to <= 1")
+        u = self.uniform(key)
+        if u < p0:
+            return 0
+        if u < p0 + p1:
+            return 1
+        if u < p0 + p1 + p2:
+            return 2
+        return 3
+
+
+def hash_family(count: int, k: int, seed: int) -> List[KWiseHash]:
+    """``count`` independent ``KWiseHash`` functions derived from ``seed``."""
+    return [KWiseHash(k, seed=seed * 1_000_003 + 17 * i + 1) for i in range(count)]

@@ -1,0 +1,150 @@
+"""Approximate l2 sampling (Section 4.2.4's substrate).
+
+Given a stream of updates to a vector ``f``, an l2 sampler outputs a
+coordinate ``i`` with probability (approximately) proportional to
+``f_i^2``, together with an estimate of ``f_i``.  We implement the
+precision-sampling design of Jowhari–Saglam–Tardos / Andoni et al.:
+
+* every coordinate gets a fixed pseudo-uniform ``u_i`` in (0, 1) from a
+  hash function (so no per-coordinate state is needed);
+* the stream is sketched with a CountSketch of the *scaled* vector
+  ``g_i = f_i / sqrt(u_i)``;
+* at extraction time, the largest ``|g_i|`` among the candidate domain
+  is accepted iff ``g_i^2 >= F2(f) / accept_scale`` — which happens iff
+  ``u_i <= accept_scale * f_i^2 / F2``, an event of probability
+  proportional to ``f_i^2``.
+
+A single :class:`L2Sampler` succeeds with probability about
+``1 / accept_scale``; :class:`L2SamplerBank` runs many independent
+copies so callers can draw many (approximately) independent samples
+from one pass.
+
+The candidate domain must be supplied at extraction time (we cannot
+enumerate an implicit domain from the sketch alone); for the wedge
+vector this is all vertex pairs, which is fine at experiment scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from .countsketch import CountSketch
+from .hashing import KWiseHash
+
+
+class L2Sampler:
+    """One precision-sampling copy (succeeds with prob ~ 1/accept_scale)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rows: int = 5,
+        width: int = 512,
+        accept_scale: float = 4.0,
+    ) -> None:
+        if accept_scale <= 1.0:
+            raise ValueError(f"accept_scale must exceed 1, got {accept_scale}")
+        self.accept_scale = accept_scale
+        self._uniforms = KWiseHash(k=2, seed=seed * 31 + 7)
+        self._sketch = CountSketch(rows=rows, width=width, seed=seed * 31 + 8)
+        self._scale_cache: dict = {}
+
+    def _scale(self, key: Hashable) -> float:
+        cached = self._scale_cache.get(key)
+        if cached is None:
+            cached = 1.0 / math.sqrt(self._uniforms.uniform(key))
+            self._scale_cache[key] = cached
+        return cached
+
+    def update(self, key: Hashable, delta: float = 1.0) -> None:
+        """Apply ``f[key] += delta`` (sketched as ``g[key] += delta/sqrt(u)``)."""
+        self._sketch.update(key, delta * self._scale(key))
+
+    def sample(
+        self, candidates: Iterable[Hashable], f2_estimate: float
+    ) -> Optional[Tuple[Hashable, float]]:
+        """Attempt to draw a sample.
+
+        Args:
+            candidates: the coordinate domain to search (e.g. all vertex
+                pairs).  Coordinates outside it can never be returned.
+            f2_estimate: an estimate of ``F2(f)`` (from an AMS sketch or
+                exact bookkeeping) used for the acceptance threshold.
+
+        Returns:
+            ``(key, f_estimate)`` on success, ``None`` if this copy's
+            scaled maximum did not clear the threshold (the expected
+            outcome for most copies — run a bank of them).
+        """
+        if f2_estimate < 0:
+            raise ValueError("F2 estimate cannot be negative")
+        best_key: Optional[Hashable] = None
+        best_scaled = 0.0
+        for key in candidates:
+            scaled = self._sketch.query(key)
+            if abs(scaled) > abs(best_scaled):
+                best_scaled = scaled
+                best_key = key
+        if best_key is None:
+            return None
+        threshold = f2_estimate / self.accept_scale
+        if best_scaled * best_scaled < threshold:
+            return None
+        f_estimate = best_scaled * math.sqrt(self._uniforms.uniform(best_key))
+        return best_key, f_estimate
+
+    @property
+    def space_items(self) -> int:
+        return self._sketch.space_items
+
+
+class L2SamplerBank:
+    """``count`` independent l2 samplers fed the same update stream."""
+
+    def __init__(
+        self,
+        count: int,
+        seed: int = 0,
+        rows: int = 5,
+        width: int = 512,
+        accept_scale: float = 4.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"need at least one sampler, got {count}")
+        self._samplers: List[L2Sampler] = [
+            L2Sampler(
+                seed=seed * 100_003 + j,
+                rows=rows,
+                width=width,
+                accept_scale=accept_scale,
+            )
+            for j in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samplers)
+
+    def update(self, key: Hashable, delta: float = 1.0) -> None:
+        for sampler in self._samplers:
+            sampler.update(key, delta)
+
+    def samples(
+        self, candidates: Iterable[Hashable], f2_estimate: float
+    ) -> List[Tuple[Hashable, float]]:
+        """Extract every successful sample across the bank.
+
+        ``candidates`` may be consumed multiple times, so pass a
+        re-iterable (list, or a callable domain wrapped by the caller).
+        """
+        candidate_list = list(candidates)
+        results: List[Tuple[Hashable, float]] = []
+        for sampler in self._samplers:
+            drawn = sampler.sample(candidate_list, f2_estimate)
+            if drawn is not None:
+                results.append(drawn)
+        return results
+
+    @property
+    def space_items(self) -> int:
+        return sum(sampler.space_items for sampler in self._samplers)

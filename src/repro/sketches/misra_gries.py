@@ -1,0 +1,86 @@
+"""Misra–Gries frequent-items summary.
+
+The deterministic heavy-hitters workhorse: ``k`` counters over a
+stream of items guarantee, for every item, an estimate within
+``total / (k + 1)`` *below* its true count (never above).  Included as
+substrate because heavy-object identification is the recurring motif
+of the paper — hash-sampled oracles (Theorem 2.1), Useful-Algorithm
+classifiers (Theorem 5.3) — and Misra–Gries is the classical
+deterministic alternative the ablation benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+
+class MisraGries:
+    """A ``k``-counter Misra–Gries summary.
+
+    Guarantees after processing ``n`` items: for every item ``x``,
+
+        count(x) - n / (k + 1)  <=  estimate(x)  <=  count(x).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"need at least one counter, got {k}")
+        self.k = k
+        self._counters: Dict[Hashable, int] = {}
+        self._processed = 0
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item``."""
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self._processed += count
+        if item in self._counters:
+            self._counters[item] += count
+            return
+        if len(self._counters) < self.k:
+            self._counters[item] = count
+            return
+        # decrement-all step; may need several rounds for count > 1
+        remaining = count
+        while remaining > 0:
+            decrement = min(remaining, min(self._counters.values()))
+            remaining -= decrement
+            for key in list(self._counters):
+                self._counters[key] -= decrement
+                if self._counters[key] == 0:
+                    del self._counters[key]
+            if remaining > 0 and len(self._counters) < self.k:
+                self._counters[item] = remaining
+                remaining = 0
+
+    def estimate(self, item: Hashable) -> int:
+        """Lower-bound estimate of ``item``'s count (0 if untracked)."""
+        return self._counters.get(item, 0)
+
+    def heavy_hitters(self, threshold: float) -> List[Tuple[Hashable, int]]:
+        """Items whose estimate reaches ``threshold * processed``.
+
+        Guaranteed to include every item with true frequency at least
+        ``threshold + 1/(k+1)``; may include items above ``threshold -
+        1/(k+1)``.
+        """
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        cutoff = threshold * self._processed
+        return sorted(
+            ((item, c) for item, c in self._counters.items() if c >= cutoff),
+            key=lambda pair: -pair[1],
+        )
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    @property
+    def error_bound(self) -> float:
+        """The maximum undercount: ``processed / (k + 1)``."""
+        return self._processed / (self.k + 1)
+
+    @property
+    def space_items(self) -> int:
+        return len(self._counters)

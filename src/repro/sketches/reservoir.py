@@ -1,0 +1,86 @@
+"""Reservoir sampling.
+
+Used by the TRIEST baseline and the Bera–Chakrabarti-style baseline to
+hold uniform samples of a stream whose length is unknown in advance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Classic Algorithm R: a uniform sample of ``capacity`` items.
+
+    After ``t`` items have been offered, the reservoir holds a uniform
+    random subset of size ``min(t, capacity)``.  :meth:`add` reports
+    which item (if any) was evicted so callers — e.g. TRIEST — can keep
+    auxiliary state consistent with the reservoir contents.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: List[T] = []
+        self._offered = 0
+
+    def add(self, item: T) -> Optional[T]:
+        """Offer an item.
+
+        Returns:
+            The item evicted to make room (or the offered item itself if
+            it was rejected), or ``None`` if the reservoir simply grew.
+        """
+        self._offered += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return None
+        slot = self._rng.randrange(self._offered)
+        if slot < self.capacity:
+            evicted = self._items[slot]
+            self._items[slot] = item
+            return evicted
+        return item  # offered item rejected
+
+    @property
+    def items(self) -> List[T]:
+        """Current reservoir contents (a copy)."""
+        return list(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def offered(self) -> int:
+        """Total items offered so far."""
+        return self._offered
+
+
+class UniformItemSampler(Generic[T]):
+    """A single uniform item from a stream (reservoir of capacity 1)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._item: Optional[T] = None
+        self._offered = 0
+
+    def add(self, item: T) -> None:
+        self._offered += 1
+        if self._rng.randrange(self._offered) == 0:
+            self._item = item
+
+    @property
+    def item(self) -> Optional[T]:
+        return self._item
+
+    @property
+    def offered(self) -> int:
+        return self._offered

@@ -1,0 +1,33 @@
+"""Stream models and space accounting."""
+
+from .file_stream import FileEdgeStream
+from .meter import SpaceMeter
+from .orders import (
+    ORDER_FACTORIES,
+    heavy_edges_first,
+    heavy_edges_last,
+    sorted_order,
+    stream_with_order,
+    vertex_grouped_order,
+)
+from .models import (
+    AdjacencyListStream,
+    ArbitraryOrderStream,
+    RandomOrderStream,
+    StreamSource,
+)
+
+__all__ = [
+    "SpaceMeter",
+    "FileEdgeStream",
+    "StreamSource",
+    "ArbitraryOrderStream",
+    "RandomOrderStream",
+    "AdjacencyListStream",
+    "ORDER_FACTORIES",
+    "stream_with_order",
+    "sorted_order",
+    "heavy_edges_first",
+    "heavy_edges_last",
+    "vertex_grouped_order",
+]

@@ -1,0 +1,102 @@
+"""Space accounting for streaming algorithms.
+
+The paper measures space in *words*: the number of edges, vertex ids
+and counters an algorithm keeps.  Measuring Python object sizes would
+drown the asymptotics in interpreter overhead, so every algorithm in
+:mod:`repro.core` and :mod:`repro.baselines` reports its storage through
+a :class:`SpaceMeter` that tracks named item counts and their peak.
+
+Usage::
+
+    meter = SpaceMeter()
+    meter.add("sampled_edges", 1)        # stored one more edge
+    meter.add("sampled_edges", -1)       # evicted one
+    meter.set("counters", 3 * n)         # fixed-size counter bank
+    meter.peak                            # max total items ever held
+    meter.breakdown()                     # per-category peaks
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SpaceMeter:
+    """Tracks the number of stored items, per named category and overall."""
+
+    def __init__(self) -> None:
+        self._current: Dict[str, int] = {}
+        self._peak_per_category: Dict[str, int] = {}
+        self._peak_total = 0
+
+    # ------------------------------------------------------------------
+    def add(self, category: str, count: int = 1) -> None:
+        """Adjust the live item count of ``category`` by ``count``.
+
+        Negative ``count`` models evictions; the live count may not go
+        below zero (that would indicate an accounting bug, so it raises).
+        """
+        new_value = self._current.get(category, 0) + count
+        if new_value < 0:
+            raise ValueError(
+                f"space meter for {category!r} went negative ({new_value})"
+            )
+        self._current[category] = new_value
+        self._refresh(category)
+
+    def set(self, category: str, count: int) -> None:
+        """Set the live item count of ``category`` to an absolute value."""
+        if count < 0:
+            raise ValueError(f"space meter cannot be negative, got {count}")
+        self._current[category] = count
+        self._refresh(category)
+
+    def _refresh(self, category: str) -> None:
+        value = self._current[category]
+        if value > self._peak_per_category.get(category, 0):
+            self._peak_per_category[category] = value
+        total = self.current
+        if total > self._peak_total:
+            self._peak_total = total
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> int:
+        """Total items held right now."""
+        return sum(self._current.values())
+
+    @property
+    def peak(self) -> int:
+        """Maximum total items held at any point so far."""
+        return self._peak_total
+
+    def current_of(self, category: str) -> int:
+        return self._current.get(category, 0)
+
+    def peak_of(self, category: str) -> int:
+        return self._peak_per_category.get(category, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Per-category peak item counts (a copy)."""
+        return dict(self._peak_per_category)
+
+    def merge(self, other: "SpaceMeter", prefix: str = "") -> None:
+        """Fold another meter's peaks into this one (for sub-algorithms).
+
+        Each of ``other``'s categories is recorded here (optionally
+        prefixed) at its peak value, and the total peak grows by the
+        other's total peak — a conservative upper bound appropriate for
+        sub-algorithms that ran concurrently with this one.
+        """
+        for category, value in other._peak_per_category.items():
+            name = f"{prefix}{category}"
+            self._peak_per_category[name] = (
+                self._peak_per_category.get(name, 0) + value
+            )
+            self._current[name] = self._current.get(name, 0) + other._current.get(
+                category, 0
+            )
+        self._peak_total += other._peak_total
+
+    def __repr__(self) -> str:
+        return f"SpaceMeter(current={self.current}, peak={self.peak})"

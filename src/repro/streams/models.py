@@ -1,0 +1,210 @@
+"""The three graph stream models of the paper.
+
+* :class:`ArbitraryOrderStream` — edges in a fixed, adversary-chosen
+  order (Section 5).
+* :class:`RandomOrderStream` — a uniformly random permutation of the
+  edges (Section 2).  The permutation is drawn once per stream
+  *instance*; a multi-pass algorithm replays the same permutation each
+  pass, matching the model's semantics.
+* :class:`AdjacencyListStream` — every edge appears twice, grouped by
+  endpoint (Section 4): first inside the adjacency list of the endpoint
+  whose list comes earlier, then again in the other endpoint's list.
+
+All sources are re-iterable; each call to :meth:`StreamSource.edges`
+(or :meth:`AdjacencyListStream.adjacency_lists`) is one pass, and the
+source counts passes so experiments can assert the pass budget.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Edge, Graph, Vertex, normalize_edge
+
+
+class StreamSource(ABC):
+    """A re-iterable source of edge tokens over a fixed graph."""
+
+    def __init__(self) -> None:
+        self._passes = 0
+
+    @property
+    @abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices ``n`` of the underlying graph."""
+
+    @property
+    @abstractmethod
+    def num_edges(self) -> int:
+        """Number of edges ``m`` of the underlying graph.
+
+        Knowing ``m`` up front is the standard convention the paper
+        adopts (prefix lengths such as ``q_i * m`` depend on it).
+        """
+
+    @property
+    def stream_length(self) -> int:
+        """Number of tokens in one pass (``m``, or ``2m`` for adjacency)."""
+        return self.num_edges
+
+    @property
+    def passes_taken(self) -> int:
+        """How many passes have been started on this source."""
+        return self._passes
+
+    @abstractmethod
+    def _tokens(self) -> Iterator[Edge]:
+        """Yield the edge tokens of a single pass, in stream order."""
+
+    def edges(self) -> Iterator[Edge]:
+        """Begin a new pass and iterate its edge tokens."""
+        self._passes += 1
+        return self._tokens()
+
+    def materialize(self) -> List[Edge]:
+        """The token sequence of one pass, as a list (counts as a pass)."""
+        return list(self.edges())
+
+
+class ArbitraryOrderStream(StreamSource):
+    """Edges presented in exactly the order given at construction."""
+
+    def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> None:
+        super().__init__()
+        self._edges: List[Edge] = []
+        seen = set()
+        vertices = set()
+        for u, v in edges:
+            edge = normalize_edge(u, v)
+            if edge in seen:
+                raise ValueError(f"duplicate edge {edge!r} in arbitrary-order stream")
+            seen.add(edge)
+            self._edges.append(edge)
+            vertices.add(u)
+            vertices.add(v)
+        self._num_vertices = len(vertices)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "ArbitraryOrderStream":
+        """Stream a graph's edges in a deterministic (sorted) order."""
+        source = cls(graph.edge_list())
+        source._num_vertices = graph.num_vertices
+        return source
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def _tokens(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+
+class RandomOrderStream(StreamSource):
+    """A uniformly random permutation of the graph's edges.
+
+    The permutation is sampled once, at construction, from ``seed``;
+    every pass replays it.  Use :meth:`reshuffled` to get an independent
+    instance (a fresh permutation) for repeated trials.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0) -> None:
+        super().__init__()
+        self._graph = graph
+        self._seed = seed
+        self._edges = graph.edge_list()
+        random.Random(seed).shuffle(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def reshuffled(self, seed: int) -> "RandomOrderStream":
+        """An independent random-order instance of the same graph."""
+        return RandomOrderStream(self._graph, seed=seed)
+
+    def _tokens(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+
+class AdjacencyListStream(StreamSource):
+    """Adjacency-list (vertex-grouped) stream: each edge appears twice.
+
+    The vertex order is either supplied explicitly or drawn uniformly
+    from ``seed``.  Within a list, neighbors appear in a deterministic
+    shuffled order (also derived from ``seed``) — the model makes no
+    promise about intra-list order, and algorithms must not rely on it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertex_order: Optional[Sequence[Vertex]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self._graph = graph
+        rng = random.Random(seed)
+        if vertex_order is None:
+            order = sorted(graph.vertices(), key=repr)
+            rng.shuffle(order)
+        else:
+            order = list(vertex_order)
+            if set(order) != set(graph.vertices()):
+                raise ValueError("vertex_order must be a permutation of the vertices")
+        self._order: List[Vertex] = order
+        # Pre-shuffle every list once so passes replay identical tokens.
+        self._lists: List[Tuple[Vertex, List[Vertex]]] = []
+        for v in order:
+            neighbors = sorted(graph.neighbors(v), key=repr)
+            rng.shuffle(neighbors)
+            self._lists.append((v, neighbors))
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    @property
+    def stream_length(self) -> int:
+        return 2 * self._graph.num_edges
+
+    @property
+    def vertex_order(self) -> List[Vertex]:
+        """The order in which adjacency lists appear (a copy)."""
+        return list(self._order)
+
+    def _tokens(self) -> Iterator[Edge]:
+        for v, neighbors in self._lists:
+            for u in neighbors:
+                yield normalize_edge(v, u)
+
+    def adjacency_lists(self) -> Iterator[Tuple[Vertex, List[Vertex]]]:
+        """Begin a new pass and yield ``(vertex, neighbor_list)`` blocks.
+
+        This is the natural access pattern for Section 4 algorithms; the
+        neighbor list of each block is complete (degree-many entries).
+        """
+        self._passes += 1
+        for v, neighbors in self._lists:
+            yield v, list(neighbors)
+
+    def reshuffled(self, seed: int) -> "AdjacencyListStream":
+        """An independent adjacency-order instance of the same graph."""
+        return AdjacencyListStream(self._graph, seed=seed)

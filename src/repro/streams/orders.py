@@ -1,0 +1,82 @@
+"""Adversarial and structured arrival orders.
+
+The gap between the paper's random-order and arbitrary-order results
+is exactly the gap between *typical* and *adversarial* arrival.  These
+helpers build :class:`~repro.streams.models.ArbitraryOrderStream`
+instances with specific adversarial orders, used by the stress tests
+to show (a) which algorithms' guarantees survive reordering and (b)
+the concrete failure the random-order lower bound weaponizes (heavy
+edges arriving before any useful prefix).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..graphs.exact import per_edge_triangle_counts
+from ..graphs.graph import Edge, Graph
+from .models import ArbitraryOrderStream
+
+
+def stream_with_order(graph: Graph, edges_in_order: Sequence[Edge]) -> ArbitraryOrderStream:
+    """An arbitrary-order stream with exactly the given edge order."""
+    ordered = list(edges_in_order)
+    if sorted(ordered) != graph.edge_list():
+        raise ValueError("order must be a permutation of the graph's edges")
+    stream = ArbitraryOrderStream(ordered)
+    return stream
+
+
+def sorted_order(graph: Graph) -> ArbitraryOrderStream:
+    """Edges sorted lexicographically — the classic 'clustered' order."""
+    return ArbitraryOrderStream(graph.edge_list())
+
+
+def heavy_edges_first(graph: Graph, seed: int = 0) -> ArbitraryOrderStream:
+    """Edges ordered by *descending* triangle participation.
+
+    The adversary of Theorem 2.6 in spirit: every heavy edge arrives
+    before the stream has accumulated the prefix evidence the
+    random-order algorithm needs, so its heavy-edge identification is
+    maximally starved.
+    """
+    counts = per_edge_triangle_counts(graph)
+    rng = random.Random(f"heavy-first-{seed}")
+    edges = graph.edge_list()
+    rng.shuffle(edges)  # break ties randomly
+    edges.sort(key=lambda e: -counts.get(e, 0))
+    return ArbitraryOrderStream(edges)
+
+
+def heavy_edges_last(graph: Graph, seed: int = 0) -> ArbitraryOrderStream:
+    """Edges ordered by *ascending* triangle participation — the
+    friendly order: by the time heavy edges arrive, every prefix
+    structure is saturated with their wedges."""
+    counts = per_edge_triangle_counts(graph)
+    rng = random.Random(f"heavy-last-{seed}")
+    edges = graph.edge_list()
+    rng.shuffle(edges)
+    edges.sort(key=lambda e: counts.get(e, 0))
+    return ArbitraryOrderStream(edges)
+
+
+def vertex_grouped_order(graph: Graph, seed: int = 0) -> ArbitraryOrderStream:
+    """Edges grouped by their lower endpoint (each edge once) — the
+    single-sided cousin of the adjacency-list order, a common shape
+    for edge lists dumped from adjacency storage."""
+    rng = random.Random(f"grouped-{seed}")
+    vertices = sorted(graph.vertices(), key=repr)
+    rng.shuffle(vertices)
+    rank = {v: i for i, v in enumerate(vertices)}
+    edges = graph.edge_list()
+    edges.sort(key=lambda e: min(rank[e[0]], rank[e[1]]))
+    return ArbitraryOrderStream(edges)
+
+
+ORDER_FACTORIES: dict = {
+    "sorted": lambda graph, seed=0: sorted_order(graph),
+    "heavy-first": heavy_edges_first,
+    "heavy-last": heavy_edges_last,
+    "vertex-grouped": vertex_grouped_order,
+}

@@ -1,0 +1,79 @@
+"""Exact-stream and naive edge-sampling baselines."""
+
+import statistics
+
+import pytest
+
+from repro.baselines import (
+    EdgeSamplingFourCycles,
+    EdgeSamplingTriangles,
+    ExactFourCycleStream,
+    ExactTriangleStream,
+)
+from repro.graphs import (
+    complete_graph,
+    erdos_renyi,
+    four_cycle_count,
+    triangle_count,
+)
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream, RandomOrderStream
+
+
+class TestExactStream:
+    def test_triangles(self):
+        graph = erdos_renyi(40, 0.3, seed=1)
+        result = ExactTriangleStream().run(ArbitraryOrderStream.from_graph(graph))
+        assert result.estimate == triangle_count(graph)
+        assert result.space_items == graph.num_edges
+
+    def test_four_cycles(self):
+        graph = erdos_renyi(40, 0.3, seed=1)
+        result = ExactFourCycleStream().run(RandomOrderStream(graph, seed=2))
+        assert result.estimate == four_cycle_count(graph)
+
+    def test_adjacency_duplicates_ignored(self):
+        graph = erdos_renyi(30, 0.3, seed=3)
+        result = ExactFourCycleStream().run(AdjacencyListStream(graph, seed=1))
+        assert result.estimate == four_cycle_count(graph)
+        assert result.space_items == graph.num_edges
+
+
+class TestEdgeSampling:
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            EdgeSamplingTriangles(p=0.0)
+        with pytest.raises(ValueError):
+            EdgeSamplingFourCycles(p=1.5)
+
+    def test_p_one_is_exact(self):
+        graph = complete_graph(12)
+        triangles = EdgeSamplingTriangles(p=1.0, seed=1).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        assert triangles.estimate == triangle_count(graph)
+        cycles = EdgeSamplingFourCycles(p=1.0, seed=1).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        assert cycles.estimate == four_cycle_count(graph)
+
+    def test_roughly_unbiased_triangles(self):
+        graph = complete_graph(14)
+        truth = triangle_count(graph)
+        estimates = [
+            EdgeSamplingTriangles(p=0.6, seed=seed)
+            .run(ArbitraryOrderStream.from_graph(graph))
+            .estimate
+            for seed in range(30)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - truth) / truth < 0.25
+
+    def test_space_tracks_p(self):
+        graph = erdos_renyi(60, 0.3, seed=4)
+        low = EdgeSamplingTriangles(p=0.2, seed=1).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        high = EdgeSamplingTriangles(p=0.8, seed=1).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        assert low.space_items < high.space_items

@@ -1,0 +1,139 @@
+"""Cormode–Jowhari, Bera–Chakrabarti and wedge-pair-sampling baselines."""
+
+import statistics
+
+import pytest
+
+from repro.baselines import (
+    BeraChakrabartiFourCycles,
+    CormodeJowhariTriangles,
+    WedgePairSamplingFourCycles,
+)
+from repro.graphs import (
+    complete_bipartite,
+    four_cycle_count,
+    heavy_edge_graph,
+    planted_diamonds,
+    planted_four_cycles,
+    planted_triangles,
+    total_wedges,
+    triangle_count,
+)
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream, RandomOrderStream
+
+
+class TestCormodeJowhari:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            CormodeJowhariTriangles(t_guess=0)
+
+    def test_light_workload_accuracy(self):
+        graph = planted_triangles(600, 150, extra_edges=800, seed=1)
+        truth = triangle_count(graph)
+        estimates = [
+            CormodeJowhariTriangles(t_guess=truth, epsilon=0.3)
+            .run(RandomOrderStream(graph, seed=100 + seed))
+            .estimate
+            for seed in range(9)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.35
+
+    def test_full_prefix_is_exact(self):
+        graph = planted_triangles(200, 20, extra_edges=100, seed=2)
+        result = CormodeJowhariTriangles(t_guess=1, epsilon=0.9, c=100).run(
+            RandomOrderStream(graph, seed=1)
+        )
+        assert result.details["beta"] == 1.0
+        assert result.estimate == triangle_count(graph)
+
+    def test_wider_error_than_mv_on_heavy_workload(self):
+        """The shape claim of E1: without heavy-edge handling, the error
+        spread on a heavy-edge graph is larger than Theorem 2.1's."""
+        from repro.core import TriangleRandomOrder
+
+        graph = heavy_edge_graph(1200, heavy_triangles=300, light_triangles=100, seed=1)
+        truth = triangle_count(graph)
+        cj_errors, mv_errors = [], []
+        for seed in range(9):
+            stream = RandomOrderStream(graph, seed=100 + seed)
+            cj = CormodeJowhariTriangles(t_guess=truth, epsilon=0.3).run(stream)
+            cj_errors.append(abs(cj.estimate - truth) / truth)
+            stream = RandomOrderStream(graph, seed=100 + seed)
+            mv = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed).run(stream)
+            mv_errors.append(abs(mv.estimate - truth) / truth)
+        assert statistics.mean(mv_errors) < statistics.mean(cj_errors)
+
+
+class TestBeraChakrabarti:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            BeraChakrabartiFourCycles(t_guess=0)
+
+    def test_accuracy(self):
+        graph = planted_four_cycles(1200, 250, extra_edges=400, seed=2)
+        truth = four_cycle_count(graph)
+        estimates = [
+            BeraChakrabartiFourCycles(t_guess=truth, epsilon=0.3, seed=seed)
+            .run(RandomOrderStream(graph, seed=100 + seed))
+            .estimate
+            for seed in range(9)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.35
+
+    def test_two_passes(self):
+        graph = planted_four_cycles(300, 30, seed=3)
+        stream = ArbitraryOrderStream.from_graph(graph)
+        BeraChakrabartiFourCycles(t_guess=30, seed=1).run(stream)
+        assert stream.passes_taken == 2
+
+    def test_cycle_free_estimates_zero(self):
+        from repro.graphs import friendship_graph
+
+        graph = friendship_graph(100)
+        result = BeraChakrabartiFourCycles(t_guess=100, seed=1).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        assert result.estimate == 0.0
+
+    def test_space_grows_as_m2_over_t(self):
+        graph = planted_four_cycles(1200, 250, extra_edges=400, seed=2)
+        small_t = BeraChakrabartiFourCycles(t_guess=50, epsilon=0.3, seed=1).run(
+            RandomOrderStream(graph, seed=1)
+        )
+        large_t = BeraChakrabartiFourCycles(t_guess=5000, epsilon=0.3, seed=1).run(
+            RandomOrderStream(graph, seed=1)
+        )
+        assert large_t.details["pairs"] < small_t.details["pairs"]
+
+
+class TestWedgePairSampling:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            WedgePairSamplingFourCycles(wedge_probability=0)
+
+    def test_full_sampling_exact(self):
+        graph = complete_bipartite(2, 20)
+        result = WedgePairSamplingFourCycles(wedge_probability=1.0, seed=1).run(
+            AdjacencyListStream(graph, seed=1)
+        )
+        assert result.estimate == four_cycle_count(graph)
+
+    def test_sampled_accuracy(self):
+        graph = planted_diamonds(900, sizes=[15] * 8 + [5] * 15, extra_edges=200, seed=3)
+        truth = four_cycle_count(graph)
+        estimates = [
+            WedgePairSamplingFourCycles(wedge_probability=0.5, seed=seed)
+            .run(AdjacencyListStream(graph, seed=100 + seed))
+            .estimate
+            for seed in range(9)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.35
+
+    def test_for_space_budget(self):
+        graph = planted_diamonds(900, sizes=[15] * 8, seed=4)
+        wedges = total_wedges(graph)
+        algorithm = WedgePairSamplingFourCycles.for_space_budget(wedges, wedges // 4)
+        assert algorithm.wedge_probability == pytest.approx(0.25)

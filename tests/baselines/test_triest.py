@@ -1,0 +1,70 @@
+"""TRIEST base and impr."""
+
+import statistics
+
+import pytest
+
+from repro.baselines import TriestBase, TriestImpr
+from repro.graphs import complete_graph, planted_triangles, triangle_count
+from repro.streams import RandomOrderStream
+
+
+class TestValidation:
+    def test_memory_floor(self):
+        with pytest.raises(ValueError):
+            TriestBase(memory=2)
+        with pytest.raises(ValueError):
+            TriestImpr(memory=2)
+
+
+class TestExactRegime:
+    """Memory >= m: the reservoir holds everything, counts are exact."""
+
+    def test_base_exact(self):
+        graph = complete_graph(12)  # m = 66
+        result = TriestBase(memory=100, seed=1).run(RandomOrderStream(graph, seed=1))
+        assert result.estimate == triangle_count(graph)
+
+    def test_impr_exact(self):
+        graph = complete_graph(12)
+        result = TriestImpr(memory=100, seed=1).run(RandomOrderStream(graph, seed=1))
+        assert result.estimate == triangle_count(graph)
+
+
+class TestSampledRegime:
+    def test_impr_concentration(self):
+        graph = planted_triangles(500, 120, extra_edges=700, seed=2)
+        truth = triangle_count(graph)
+        estimates = [
+            TriestImpr(memory=400, seed=seed)
+            .run(RandomOrderStream(graph, seed=100 + seed))
+            .estimate
+            for seed in range(9)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.35
+
+    def test_base_unbiased_on_average(self):
+        graph = planted_triangles(300, 60, extra_edges=300, seed=3)
+        truth = triangle_count(graph)
+        estimates = [
+            TriestBase(memory=250, seed=seed)
+            .run(RandomOrderStream(graph, seed=100 + seed))
+            .estimate
+            for seed in range(25)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - truth) / truth < 0.5
+
+    def test_memory_respected(self):
+        graph = planted_triangles(500, 120, extra_edges=700, seed=2)
+        result = TriestImpr(memory=200, seed=1).run(RandomOrderStream(graph, seed=1))
+        assert result.space.peak_of("reservoir_edges") <= 200
+
+    def test_estimates_nonnegative(self):
+        graph = planted_triangles(300, 20, extra_edges=600, seed=4)
+        for seed in range(5):
+            result = TriestBase(memory=100, seed=seed).run(
+                RandomOrderStream(graph, seed=seed)
+            )
+            assert result.estimate >= 0

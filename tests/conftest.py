@@ -1,0 +1,44 @@
+"""Shared fixtures: small reference graphs with known exact counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square() -> Graph:
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture
+def k33() -> Graph:
+    return complete_bipartite(3, 3)
+
+
+@pytest.fixture
+def grid_4x5() -> Graph:
+    return grid_graph(4, 5)
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    return erdos_renyi(30, 0.25, seed=7)

@@ -1,0 +1,99 @@
+"""MedianBoost amplification."""
+
+import statistics
+
+import pytest
+
+from repro.core import (
+    EstimateResult,
+    MedianBoost,
+    TriangleRandomOrder,
+    copies_for_failure_probability,
+)
+from repro.graphs import planted_triangles, triangle_count
+from repro.streams import ArbitraryOrderStream, RandomOrderStream, SpaceMeter
+
+
+class _NoisyStub:
+    """Estimates 100 +- a seed-dependent wobble; one copy in four is
+    a wild outlier — the median must shrug it off."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def run(self, stream):
+        list(stream.edges())
+        wobble = (self.seed % 7) - 3
+        estimate = 100.0 + wobble
+        if self.seed % 4 == 0:
+            estimate = 10_000.0
+        meter = SpaceMeter()
+        meter.add("stub", 5)
+        return EstimateResult(estimate, stream.passes_taken, meter, "stub")
+
+
+class TestMedianBoost:
+    def test_validates_copies(self):
+        with pytest.raises(ValueError):
+            MedianBoost(lambda seed: _NoisyStub(seed), copies=0)
+
+    def test_median_suppresses_outliers(self):
+        stream = ArbitraryOrderStream([(0, 1), (1, 2)])
+        boost = MedianBoost(lambda seed: _NoisyStub(seed), copies=7, seed=1)
+        result = boost.run(stream)
+        assert 90 <= result.estimate <= 110
+
+    def test_space_is_summed(self):
+        stream = ArbitraryOrderStream([(0, 1)])
+        result = MedianBoost(lambda seed: _NoisyStub(seed), copies=3, seed=1).run(stream)
+        assert result.space_items == 15
+
+    def test_passes_reported_per_copy(self):
+        stream = ArbitraryOrderStream([(0, 1)])
+        result = MedianBoost(lambda seed: _NoisyStub(seed), copies=4, seed=1).run(stream)
+        assert result.passes == 1  # each stub copy takes one pass
+
+    def test_details(self):
+        stream = ArbitraryOrderStream([(0, 1)])
+        result = MedianBoost(lambda seed: _NoisyStub(seed), copies=3, seed=1).run(stream)
+        assert result.details["copies"] == 3
+        assert len(result.details["estimates"]) == 3
+        assert result.details["inner_algorithm"] == "stub"
+
+    def test_boost_on_real_algorithm_tightens_errors(self):
+        graph = planted_triangles(500, 120, extra_edges=700, seed=2)
+        truth = triangle_count(graph)
+
+        single_errors = []
+        boosted_errors = []
+        for trial in range(5):
+            stream = RandomOrderStream(graph, seed=200 + trial)
+            single = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=trial).run(
+                stream
+            )
+            single_errors.append(abs(single.estimate - truth) / truth)
+
+            stream = RandomOrderStream(graph, seed=200 + trial)
+            boosted = MedianBoost(
+                lambda seed: TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed),
+                copies=5,
+                seed=trial,
+            ).run(stream)
+            boosted_errors.append(abs(boosted.estimate - truth) / truth)
+        # boosting should not be worse on aggregate
+        assert statistics.mean(boosted_errors) <= statistics.mean(single_errors) + 0.05
+
+
+class TestCopiesForFailureProbability:
+    def test_monotone_in_delta(self):
+        assert copies_for_failure_probability(0.01) > copies_for_failure_probability(0.2)
+
+    def test_always_odd(self):
+        for delta in (0.3, 0.1, 0.01, 0.001):
+            assert copies_for_failure_probability(delta) % 2 == 1
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            copies_for_failure_probability(0.0)
+        with pytest.raises(ValueError):
+            copies_for_failure_probability(0.1, base_failure=0.5)

@@ -1,0 +1,59 @@
+"""Distinguisher-search estimation (derived application of Thm 5.6)."""
+
+import pytest
+
+from repro.core.distinguisher_search import SearchOutcome, estimate_by_search
+from repro.graphs import four_cycle_count, friendship_graph, planted_four_cycles
+from repro.streams import ArbitraryOrderStream, RandomOrderStream
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            estimate_by_search(lambda s: None, max_promise=0.5)
+        with pytest.raises(ValueError):
+            estimate_by_search(lambda s: None, max_promise=10, ratio=1.0)
+
+
+class TestSearch:
+    def test_cycle_free_graph_never_detects(self):
+        graph = friendship_graph(150)
+        outcome = estimate_by_search(
+            lambda seed: ArbitraryOrderStream.from_graph(graph),
+            max_promise=10_000,
+            seed=1,
+        )
+        assert outcome.lower == 0.0
+        assert outcome.point_estimate == 0.0
+        # every probe down to 1 was tried and none detected
+        assert all(rate == 0.0 for _, rate in outcome.probes)
+
+    def test_bracket_contains_truth_within_ratio(self):
+        graph = planted_four_cycles(1500, 300, extra_edges=400, seed=2)
+        truth = four_cycle_count(graph)
+        outcome = estimate_by_search(
+            lambda seed: RandomOrderStream(graph, seed=seed),
+            max_promise=4.0 * graph.num_edges**2,
+            ratio=4.0,
+            seed=3,
+        )
+        assert outcome.lower > 0
+        # the calibrated point estimate (midpoint / 2c^2) lands within
+        # a couple of ratio steps of the truth (heuristic, so the band
+        # is generous)
+        assert truth / 16 <= outcome.point_estimate <= truth * 16
+
+    def test_probe_trace_is_descending(self):
+        graph = planted_four_cycles(600, 80, seed=4)
+        outcome = estimate_by_search(
+            lambda seed: RandomOrderStream(graph, seed=seed),
+            max_promise=10_000,
+            seed=5,
+        )
+        promises = [p for p, _ in outcome.probes]
+        assert promises == sorted(promises, reverse=True)
+
+    def test_point_estimate_is_calibrated_midpoint(self):
+        outcome = SearchOutcome(probes=[(16.0, 1.0)], lower=16.0, upper=64.0, c=1.0)
+        assert outcome.point_estimate == pytest.approx(32.0 / 2.0)
+        assert outcome.bracket == (16.0, 64.0)

@@ -1,0 +1,80 @@
+"""Theorem 4.3a: the one-pass moment-based adjacency-list counter."""
+
+import statistics
+
+import pytest
+
+from repro.core import FourCycleMoment
+from repro.graphs import erdos_renyi, four_cycle_count, wedge_counts
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ValueError):
+            FourCycleMoment(t_guess=0)
+        with pytest.raises(ValueError):
+            FourCycleMoment(t_guess=10, epsilon=2.0)
+
+    def test_requires_adjacency_stream(self):
+        with pytest.raises(TypeError):
+            FourCycleMoment(t_guess=5).run(ArbitraryOrderStream([(0, 1)]))
+
+
+class TestAccuracy:
+    def test_dense_graph_median(self):
+        """The T = Omega(n^2) regime the theorem targets."""
+        graph = erdos_renyi(50, 0.5, seed=3)
+        truth = four_cycle_count(graph)
+        assert truth > graph.num_vertices**2  # confirm the regime
+        estimates = []
+        for seed in range(5):
+            algorithm = FourCycleMoment(
+                t_guess=truth, epsilon=0.2, groups=7, group_size=40, seed=seed
+            )
+            stream = AdjacencyListStream(graph, seed=400 + seed)
+            estimates.append(algorithm.run(stream).estimate)
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.3
+
+    def test_f1_component_unbiased(self):
+        """With pair probability forced to 1, F1_hat equals F1(z)."""
+        graph = erdos_renyi(25, 0.4, seed=4)
+        epsilon = 0.34
+        cap = 1.0 / epsilon
+        truth_f1 = sum(min(v, cap) for v in wedge_counts(graph).values())
+        algorithm = FourCycleMoment(
+            t_guess=1, epsilon=epsilon, c=10**9, groups=2, group_size=2, seed=0
+        )
+        result = algorithm.run(AdjacencyListStream(graph, seed=1))
+        assert result.details["pair_probability"] == 1.0
+        assert result.details["f1_hat"] == pytest.approx(truth_f1)
+
+    def test_estimate_formula(self):
+        graph = erdos_renyi(25, 0.4, seed=4)
+        result = FourCycleMoment(t_guess=100, epsilon=0.2, seed=0).run(
+            AdjacencyListStream(graph, seed=1)
+        )
+        f2, f1 = result.details["f2_hat"], result.details["f1_hat"]
+        assert result.estimate == pytest.approx(max(0.0, (f2 - f1) / 4.0))
+
+    def test_single_pass(self):
+        graph = erdos_renyi(25, 0.4, seed=4)
+        stream = AdjacencyListStream(graph, seed=1)
+        result = FourCycleMoment(t_guess=100, seed=0).run(stream)
+        assert result.passes == 1
+
+
+class TestSpace:
+    def test_pair_counters_shrink_with_t(self):
+        graph = erdos_renyi(40, 0.4, seed=5)
+        small_guess = FourCycleMoment(t_guess=100, epsilon=0.3, seed=1).run(
+            AdjacencyListStream(graph, seed=2)
+        )
+        large_guess = FourCycleMoment(t_guess=10**6, epsilon=0.3, seed=1).run(
+            AdjacencyListStream(graph, seed=2)
+        )
+        assert (
+            large_guess.details["sampled_pairs_with_wedges"]
+            <= small_guess.details["sampled_pairs_with_wedges"]
+        )

@@ -1,0 +1,77 @@
+"""Theorem 5.7: one-pass arbitrary-order counter for dense graphs,
+including the dynamic (insert/delete) extension."""
+
+import statistics
+
+import pytest
+
+from repro.core import FourCycleArbitraryOnePass
+from repro.graphs import erdos_renyi, four_cycle_count
+from repro.streams import ArbitraryOrderStream, RandomOrderStream
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ValueError):
+            FourCycleArbitraryOnePass(t_guess=0)
+        with pytest.raises(ValueError):
+            FourCycleArbitraryOnePass(t_guess=10, epsilon=0)
+
+
+class TestAccuracy:
+    def test_dense_graph_median(self):
+        graph = erdos_renyi(50, 0.5, seed=3)
+        truth = four_cycle_count(graph)
+        assert truth > graph.num_vertices**2
+        estimates = []
+        for seed in range(5):
+            algorithm = FourCycleArbitraryOnePass(
+                t_guess=truth, epsilon=0.2, groups=7, group_size=40, seed=seed
+            )
+            stream = RandomOrderStream(graph, seed=600 + seed)
+            estimates.append(algorithm.run(stream).estimate)
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.3
+
+    def test_order_insensitive(self):
+        """The F2 counters are order-free; two orders give identical F2."""
+        graph = erdos_renyi(30, 0.4, seed=4)
+        a = FourCycleArbitraryOnePass(t_guess=1000, seed=7).run(
+            ArbitraryOrderStream.from_graph(graph)
+        )
+        b = FourCycleArbitraryOnePass(t_guess=1000, seed=7).run(
+            RandomOrderStream(graph, seed=99)
+        )
+        assert a.details["f2_hat"] == pytest.approx(b.details["f2_hat"])
+
+    def test_single_pass(self):
+        graph = erdos_renyi(30, 0.4, seed=4)
+        stream = RandomOrderStream(graph, seed=1)
+        result = FourCycleArbitraryOnePass(t_guess=100, seed=0).run(stream)
+        assert result.passes == 1
+
+
+class TestDynamic:
+    def test_deletions_match_final_graph(self):
+        """Insert extra edges then delete them: estimate ~ final graph."""
+        graph = erdos_renyi(30, 0.5, seed=5)
+        algorithm = FourCycleArbitraryOnePass(
+            t_guess=four_cycle_count(graph), epsilon=0.25, groups=5, group_size=30, seed=2
+        )
+        spurious = [(900, 901), (901, 902), (902, 903)]
+        updates = []
+        edges = list(graph.edges())
+        for u, v in edges[: len(edges) // 2]:
+            updates.append((u, v, 1))
+        for u, v in spurious:
+            updates.append((u, v, 1))
+        for u, v in spurious:
+            updates.append((u, v, -1))
+        for u, v in edges[len(edges) // 2 :]:
+            updates.append((u, v, 1))
+        dynamic_estimate = algorithm.run_dynamic(updates, n=graph.num_vertices)
+
+        static = FourCycleArbitraryOnePass(
+            t_guess=four_cycle_count(graph), epsilon=0.25, groups=5, group_size=30, seed=2
+        ).run(ArbitraryOrderStream.from_graph(graph))
+        assert dynamic_estimate == pytest.approx(static.estimate, rel=1e-6)

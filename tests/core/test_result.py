@@ -1,0 +1,33 @@
+"""EstimateResult semantics."""
+
+import pytest
+
+from repro.core import EstimateResult
+from repro.streams import SpaceMeter
+
+
+def _result(estimate=10.0, algorithm="algo"):
+    meter = SpaceMeter()
+    meter.add("x", 7)
+    return EstimateResult(estimate, 2, meter, algorithm, {"k": 1})
+
+
+class TestEstimateResult:
+    def test_space_items_is_peak(self):
+        result = _result()
+        result.space.add("x", -3)
+        assert result.space_items == 7  # peak, not current
+
+    def test_relative_error(self):
+        assert _result(110.0).relative_error(100.0) == pytest.approx(0.1)
+        assert _result(0.0).relative_error(0.0) == 0.0
+        assert _result(1.0).relative_error(0.0) == float("inf")
+
+    def test_repr_mentions_key_facts(self):
+        text = repr(_result())
+        assert "algo" in text
+        assert "passes=2" in text
+
+    def test_details_default(self):
+        result = EstimateResult(1.0, 1, SpaceMeter(), "a")
+        assert result.details == {}

@@ -1,0 +1,143 @@
+"""Theorem 2.1: the one-pass random-order triangle counter."""
+
+import statistics
+
+import pytest
+
+from repro.core import TriangleRandomOrder
+from repro.graphs import (
+    complete_graph,
+    erdos_renyi,
+    heavy_edge_graph,
+    max_edge_triangle_count,
+    planted_triangles,
+    triangle_count,
+)
+from repro.streams import RandomOrderStream
+
+
+def _median_estimate(graph, t_guess, trials=7, **kwargs):
+    estimates = []
+    for seed in range(trials):
+        algorithm = TriangleRandomOrder(t_guess=t_guess, seed=seed, **kwargs)
+        stream = RandomOrderStream(graph, seed=100 + seed)
+        estimates.append(algorithm.run(stream).estimate)
+    return statistics.median(estimates)
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ValueError):
+            TriangleRandomOrder(t_guess=0)
+        with pytest.raises(ValueError):
+            TriangleRandomOrder(t_guess=10, epsilon=0.0)
+        with pytest.raises(ValueError):
+            TriangleRandomOrder(t_guess=10, c=0.0)
+
+    def test_empty_stream(self):
+        from repro.streams import ArbitraryOrderStream
+
+        result = TriangleRandomOrder(t_guess=1).run(ArbitraryOrderStream([]))
+        assert result.estimate == 0.0
+
+
+class TestAccuracy:
+    def test_triangle_free_graph_estimates_zero_ish(self):
+        graph = erdos_renyi(200, 0.01, seed=5)
+        if triangle_count(graph) == 0:
+            estimate = _median_estimate(graph, t_guess=4, epsilon=0.3)
+            assert estimate == 0.0
+
+    def test_light_workload(self):
+        graph = planted_triangles(600, 150, extra_edges=800, seed=1)
+        truth = triangle_count(graph)
+        estimate = _median_estimate(graph, t_guess=truth, epsilon=0.3)
+        assert abs(estimate - truth) / truth < 0.3
+
+    def test_heavy_edge_workload(self):
+        """The paper's headline case: one edge holds most triangles."""
+        graph = heavy_edge_graph(1200, heavy_triangles=300, light_triangles=100, seed=1)
+        truth = triangle_count(graph)
+        assert max_edge_triangle_count(graph) == 300
+        estimate = _median_estimate(graph, t_guess=truth, epsilon=0.3)
+        assert abs(estimate - truth) / truth < 0.3
+
+    def test_heavy_edge_is_caught(self):
+        """The heavy edge is identified unless it lands inside every
+        useful prefix (probability ~ 2^i / sqrt(T) per Lemma 2.3 — a
+        real, bounded failure mode, so we assert a clear majority)."""
+        graph = heavy_edge_graph(1200, heavy_triangles=300, light_triangles=100, seed=1)
+        truth = triangle_count(graph)
+        caught = 0
+        for seed in range(9):
+            algorithm = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed)
+            result = algorithm.run(RandomOrderStream(graph, seed=200 + seed))
+            caught += result.details["heavy_edges_caught"] >= 1
+        assert caught >= 5
+
+    def test_heavy_edge_estimate_robust_via_median(self):
+        """Even with occasional heavy-edge misses, the median across
+        trials stays within the target band."""
+        graph = heavy_edge_graph(1200, heavy_triangles=300, light_triangles=100, seed=1)
+        truth = triangle_count(graph)
+        estimates = []
+        for seed in range(9):
+            algorithm = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed)
+            result = algorithm.run(RandomOrderStream(graph, seed=200 + seed))
+            estimates.append(result.estimate)
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.3
+
+    def test_dense_graph(self):
+        graph = complete_graph(30)
+        truth = triangle_count(graph)  # 4060
+        estimate = _median_estimate(graph, t_guess=truth, epsilon=0.3, trials=5)
+        assert abs(estimate - truth) / truth < 0.35
+
+
+class TestSpace:
+    def test_space_shrinks_with_t(self):
+        """The m/sqrt(T) law: larger T (same m) => less space."""
+        small_t = planted_triangles(3000, 60, extra_edges=3000, seed=2)
+        large_t = planted_triangles(3000, 900, extra_edges=480, seed=2)
+        assert abs(small_t.num_edges - large_t.num_edges) < 400
+        kwargs = dict(epsilon=0.3, c=0.05, use_log_factor=False)
+        space_small = TriangleRandomOrder(
+            t_guess=triangle_count(small_t), seed=1, **kwargs
+        ).run(RandomOrderStream(small_t, seed=1)).space_items
+        space_large = TriangleRandomOrder(
+            t_guess=triangle_count(large_t), seed=1, **kwargs
+        ).run(RandomOrderStream(large_t, seed=1)).space_items
+        assert space_large < space_small
+
+    def test_meter_categories_present(self):
+        graph = planted_triangles(300, 40, extra_edges=200, seed=3)
+        truth = triangle_count(graph)
+        result = TriangleRandomOrder(t_guess=truth, seed=0).run(
+            RandomOrderStream(graph, seed=0)
+        )
+        breakdown = result.space.breakdown()
+        assert "prefix_S" in breakdown
+
+
+class TestDiagnostics:
+    def test_details_keys(self):
+        graph = planted_triangles(300, 40, extra_edges=200, seed=3)
+        truth = triangle_count(graph)
+        result = TriangleRandomOrder(t_guess=truth, seed=0).run(
+            RandomOrderStream(graph, seed=0)
+        )
+        for key in ("t0_hat", "heavy_hat", "size_S", "size_C", "size_P", "num_levels"):
+            assert key in result.details
+        assert result.passes == 1
+        assert result.algorithm == "mv-triangle-random-order"
+
+    def test_estimate_decomposition(self):
+        graph = planted_triangles(300, 40, extra_edges=200, seed=3)
+        truth = triangle_count(graph)
+        result = TriangleRandomOrder(t_guess=truth, seed=0).run(
+            RandomOrderStream(graph, seed=0)
+        )
+        assert result.estimate == pytest.approx(
+            result.details["t0_hat"] + result.details["heavy_hat"]
+        )

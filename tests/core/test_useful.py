@@ -1,0 +1,191 @@
+"""The Section 3 Useful Algorithm (Lemma 3.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import UsefulAlgorithm, bernoulli_vertex_sample
+from repro.graphs import Graph, erdos_renyi
+
+
+def _stream_graph(algorithm, graph, order):
+    """Stream a weighted (here unit-weight) graph's vertices through
+    the algorithm, exposing edges to R1 | R2 only — the paper's model."""
+    observable = algorithm.r1 | algorithm.r2
+    for v in order:
+        weights = {u: 1.0 for u in graph.neighbors(v) if u in observable}
+        algorithm.process_vertex(v, weights)
+
+
+class TestUsefulExactMode:
+    """p = 1: both samples are all of V, the estimate must be exact."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_total_weight(self, seed):
+        graph = erdos_renyi(40, 0.2, seed=seed)
+        vertices = sorted(graph.vertices())
+        rng = random.Random(seed)
+        rng.shuffle(vertices)
+        algorithm = UsefulAlgorithm(r1=vertices, r2=vertices, p=1.0, m_bound=100.0)
+        _stream_graph(algorithm, graph, vertices)
+        assert algorithm.estimate() == pytest.approx(graph.num_edges)
+
+    def test_exact_with_heavy_vertices(self):
+        # a star: the hub has win ~ degree depending on position
+        graph = Graph.from_edges([(0, i) for i in range(1, 30)])
+        vertices = list(range(30))
+        algorithm = UsefulAlgorithm(r1=vertices, r2=vertices, p=1.0, m_bound=4.0)
+        _stream_graph(algorithm, graph, vertices)  # hub arrives first
+        assert algorithm.estimate() == pytest.approx(29)
+        assert 0 in algorithm.heavy_vertices  # hub's win = 29 >= sqrt(4)
+
+
+class TestUsefulSampledMode:
+    def test_additive_error_when_w_below_m(self):
+        graph = erdos_renyi(150, 0.1, seed=3)
+        w = graph.num_edges
+        m_bound = 2.0 * w
+        epsilon = 0.4
+        errors = []
+        for seed in range(8):
+            p = 0.5
+            r1, r2 = bernoulli_vertex_sample(graph.vertices(), p, seed=seed)
+            algorithm = UsefulAlgorithm(r1=r1, r2=r2, p=p, m_bound=m_bound)
+            order = sorted(graph.vertices())
+            random.Random(seed).shuffle(order)
+            _stream_graph(algorithm, graph, order)
+            errors.append(abs(algorithm.estimate() - w))
+        errors.sort()
+        # median run within the +-eps*M additive guarantee
+        assert errors[len(errors) // 2] <= epsilon * m_bound
+
+    def test_separation_large_vs_small(self):
+        """Lemma 3.1 b/c: W >= 2M  mostly decides large; W <= M/2 small."""
+        dense = erdos_renyi(100, 0.3, seed=1)  # W ~ 1500
+        sparse = erdos_renyi(100, 0.01, seed=1)  # W ~ 50
+        m_bound = dense.num_edges / 2.0  # dense has W = 2M, sparse << M/2
+        large_votes = small_votes = 0
+        trials = 7
+        for seed in range(trials):
+            for graph, bucket in ((dense, "large"), (sparse, "small")):
+                p = 0.6
+                r1, r2 = bernoulli_vertex_sample(graph.vertices(), p, seed=seed + 50)
+                algorithm = UsefulAlgorithm(r1=r1, r2=r2, p=p, m_bound=m_bound)
+                order = sorted(graph.vertices())
+                random.Random(seed).shuffle(order)
+                _stream_graph(algorithm, graph, order)
+                if algorithm.is_large():
+                    if bucket == "large":
+                        large_votes += 1
+                else:
+                    if bucket == "small":
+                        small_votes += 1
+        assert large_votes >= trials - 1
+        assert small_votes >= trials - 1
+
+
+class TestUsefulApi:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            UsefulAlgorithm(r1=[], r2=[], p=0.0, m_bound=1.0)
+        with pytest.raises(ValueError):
+            UsefulAlgorithm(r1=[], r2=[], p=0.5, m_bound=0.0)
+
+    def test_rejects_self_neighbor(self):
+        algorithm = UsefulAlgorithm(r1=[1], r2=[2], p=0.5, m_bound=1.0)
+        with pytest.raises(ValueError):
+            algorithm.process_vertex(1, {1: 1.0})
+
+    def test_rejects_negative_weight(self):
+        algorithm = UsefulAlgorithm(r1=[1], r2=[2], p=0.5, m_bound=1.0)
+        with pytest.raises(ValueError):
+            algorithm.process_vertex(3, {1: -1.0})
+
+    def test_closed_after_estimate(self):
+        algorithm = UsefulAlgorithm(r1=[1], r2=[2], p=0.5, m_bound=1.0)
+        algorithm.process_vertex(1, {})
+        algorithm.estimate()
+        with pytest.raises(RuntimeError):
+            algorithm.process_vertex(2, {})
+
+    def test_non_sample_neighbors_ignored(self):
+        members = [1, 2, 5]
+        algorithm = UsefulAlgorithm(r1=members, r2=members, p=1.0, m_bound=100.0)
+        algorithm.process_vertex(5, {1: 1.0, 2: 1.0, 99: 42.0})
+        algorithm.process_vertex(1, {5: 1.0})
+        algorithm.process_vertex(2, {5: 1.0})
+        # edges (5,1) and (5,2) each counted once; the weight to 99
+        # (outside both samples) contributes nothing
+        assert algorithm.estimate() == pytest.approx(2.0)
+
+    def test_space_items_accounts_samples_and_counters(self):
+        algorithm = UsefulAlgorithm(r1=[1, 2], r2=[3], p=1.0, m_bound=1.0)
+        assert algorithm.space_items == 2 + 1 + 0 + 3
+        assert algorithm.heavy_counter_count == 0
+
+    def test_bernoulli_vertex_sample_rate(self):
+        r1, r2 = bernoulli_vertex_sample(range(4000), 0.3, seed=1)
+        assert abs(len(r1) / 4000 - 0.3) < 0.05
+        assert abs(len(r2) / 4000 - 0.3) < 0.05
+        assert r1 != r2  # independent samples
+
+
+class TestUsefulWeighted:
+    """The weighted path (weights in [1, lambda]) — what the diamond
+    algorithm feeds it."""
+
+    def test_exact_mode_weighted_total(self):
+        import random as _random
+
+        from repro.graphs import erdos_renyi
+
+        graph = erdos_renyi(30, 0.3, seed=2)
+        # deterministic weights in [1, 5]
+        def weight(u, v):
+            lo, hi = sorted((u, v))
+            return 1.0 + ((lo * 31 + hi * 7) % 5)
+
+        total = sum(weight(u, v) for u, v in graph.edges())
+        vertices = sorted(graph.vertices())
+        algorithm = UsefulAlgorithm(r1=vertices, r2=vertices, p=1.0, m_bound=4 * total)
+        order = list(vertices)
+        _random.Random(3).shuffle(order)
+        for v in order:
+            algorithm.process_vertex(
+                v, {u: weight(u, v) for u in graph.neighbors(v)}
+            )
+        assert algorithm.estimate() == pytest.approx(total)
+
+    def test_sampled_weighted_additive_error(self):
+        import random as _random
+
+        from repro.graphs import erdos_renyi
+
+        graph = erdos_renyi(120, 0.12, seed=5)
+
+        def weight(u, v):
+            lo, hi = sorted((u, v))
+            return 1.0 + ((lo + 3 * hi) % 4)
+
+        total = sum(weight(u, v) for u, v in graph.edges())
+        m_bound = 1.5 * total
+        errors = []
+        for seed in range(7):
+            r1, r2 = bernoulli_vertex_sample(graph.vertices(), 0.5, seed=seed)
+            algorithm = UsefulAlgorithm(r1=r1, r2=r2, p=0.5, m_bound=m_bound)
+            order = sorted(graph.vertices())
+            _random.Random(seed).shuffle(order)
+            observable = algorithm.r1 | algorithm.r2
+            for v in order:
+                algorithm.process_vertex(
+                    v,
+                    {
+                        u: weight(u, v)
+                        for u in graph.neighbors(v)
+                        if u in observable
+                    },
+                )
+            errors.append(abs(algorithm.estimate() - total) / m_bound)
+        errors.sort()
+        assert errors[len(errors) // 2] < 0.25

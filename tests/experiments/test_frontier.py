@@ -1,0 +1,87 @@
+"""Frontier measurement utilities."""
+
+import pytest
+
+from repro.core import EstimateResult
+from repro.experiments.frontier import (
+    Frontier,
+    FrontierPoint,
+    dominates,
+    measure_frontier,
+)
+from repro.streams import ArbitraryOrderStream, SpaceMeter
+
+
+class _KnobStub:
+    """Error and space both controlled by the knob: space = 100 * knob,
+    error = 1 / knob (a clean tradeoff curve)."""
+
+    def __init__(self, knob, seed):
+        self.knob = knob
+
+    def run(self, stream):
+        list(stream.edges())
+        meter = SpaceMeter()
+        meter.add("s", int(100 * self.knob))
+        estimate = 100.0 * (1.0 + 1.0 / self.knob)
+        return EstimateResult(estimate, 1, meter, "stub")
+
+
+def _measure(label="stub", knobs=(1, 2, 4)):
+    return measure_frontier(
+        label=label,
+        knobs=list(knobs),
+        algorithm_for_knob=lambda knob, seed: _KnobStub(knob, seed),
+        stream_factory=lambda seed: ArbitraryOrderStream([(0, 1)]),
+        truth=100.0,
+        epsilon=0.6,
+        trials=3,
+    )
+
+
+class TestMeasureFrontier:
+    def test_points_track_knobs(self):
+        frontier = _measure()
+        assert [p.knob for p in frontier.points] == [1, 2, 4]
+        assert [p.median_space for p in frontier.points] == [100, 200, 400]
+        assert frontier.points[0].median_rel_error == pytest.approx(1.0)
+        assert frontier.points[2].median_rel_error == pytest.approx(0.25)
+
+    def test_success_rate_band(self):
+        frontier = _measure()
+        assert frontier.points[0].success_rate == 0.0  # error 1.0 > 0.6
+        assert frontier.points[2].success_rate == 1.0  # error 0.25 <= 0.6
+
+    def test_rows(self):
+        rows = _measure().rows()
+        assert rows[0]["algorithm"] == "stub"
+        assert "median_space" in rows[0]
+
+
+class TestErrorAtSpace:
+    def test_feasible(self):
+        frontier = _measure()
+        assert frontier.error_at_space(250) == pytest.approx(0.5)
+        assert frontier.error_at_space(1000) == pytest.approx(0.25)
+
+    def test_infeasible(self):
+        assert _measure().error_at_space(50) == float("inf")
+
+
+class TestDominates:
+    def test_strictly_better_curve_dominates(self):
+        better = Frontier(
+            "better",
+            [FrontierPoint(1, 100, 0.1, 0.1, 1.0), FrontierPoint(2, 200, 0.05, 0.05, 1.0)],
+        )
+        worse = Frontier(
+            "worse",
+            [FrontierPoint(1, 100, 0.3, 0.3, 0.0), FrontierPoint(2, 200, 0.2, 0.2, 0.0)],
+        )
+        assert dominates(better, worse, budgets=[100, 200, 300])
+        assert not dominates(worse, better, budgets=[100, 200, 300])
+
+    def test_no_overlap_means_no_dominance(self):
+        small = Frontier("s", [FrontierPoint(1, 10, 0.5, 0.5, 0)])
+        big = Frontier("b", [FrontierPoint(1, 1000, 0.1, 0.1, 1)])
+        assert not dominates(small, big, budgets=[10])  # big infeasible there

@@ -1,0 +1,69 @@
+"""The light experiment suite."""
+
+import pytest
+
+from repro.experiments.suite import SUITE, run_experiment
+
+
+class TestSuiteRegistry:
+    def test_every_entry_has_unique_id_and_title(self):
+        assert len(SUITE) >= 5
+        for exp_id, experiment in SUITE.items():
+            assert experiment.id == exp_id
+            assert experiment.title
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_lowercase_id_accepted(self):
+        records = run_experiment("e12", seed=1)
+        assert records
+
+
+class TestLightRuns:
+    def test_e12_records(self):
+        records = run_experiment("E12", seed=0)
+        assert all(record["holds"] for record in records)
+        assert {record["eta"] for record in records} == {2.0, 8.0, 90.0}
+
+    def test_e11_records(self):
+        records = run_experiment("E11", seed=2)
+        by_answer = {record["DISJ_answer"]: record for record in records}
+        assert by_answer[0]["four_cycles"] == 0
+        assert by_answer[0]["protocol_decided"] == 0
+        assert by_answer[1]["four_cycles"] > 0
+
+    def test_e9_records(self):
+        records = run_experiment("E9", seed=1)
+        rates = {record["instance"]: record["detection_rate"] for record in records}
+        assert rates["cycle-free"] == 0.0
+        assert rates["T cycles"] >= 0.5
+
+    def test_e4_records(self):
+        records = run_experiment("E4", seed=3)
+        assert len(records) == 5
+        assert all(record["error_over_M"] < 1.0 for record in records)
+
+    def test_e1_records(self):
+        records = run_experiment("E1", seed=1)
+        assert len(records) == 2
+        mv = next(r for r in records if "Thm 2.1" in r["algorithm"])
+        assert mv["median_rel_err"] < 0.5
+
+    def test_e5_and_e8_run(self):
+        for exp_id in ("E5", "E8"):
+            records = run_experiment(exp_id, seed=1)
+            assert records[0]["median_rel_err"] < 0.5
+
+
+class TestPaperTable:
+    def test_rows_cover_all_results(self):
+        from repro.experiments import paper_table
+
+        rows = paper_table(seed=1, trials=1)
+        results = {row["result"] for row in rows}
+        assert results == {"Thm 2.1", "Thm 4.2", "Thm 4.3a", "Thm 5.3", "Thm 5.6", "Thm 5.7"}
+        for row in rows:
+            assert row["passes"] in (1, 2, 3)
+            assert isinstance(row["measured_rel_err"], float)

@@ -1,0 +1,104 @@
+"""Workload registry, reporting and guess calibration."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_WORKLOADS,
+    build_workload,
+    estimate_with_guesses,
+    format_records,
+    format_table,
+)
+from repro.graphs import four_cycle_count, triangle_count
+
+
+class TestWorkloads:
+    def test_registry_builds_everything(self):
+        for name in ALL_WORKLOADS:
+            workload = build_workload(name)
+            assert workload.name == name
+            assert workload.m > 0
+            assert workload.triangles == triangle_count(workload.graph)
+            assert workload.four_cycles == four_cycle_count(workload.graph)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_workload("no-such-workload")
+
+    def test_describe(self):
+        workload = build_workload("four-cycle-free")
+        assert "four-cycle-free" in workload.describe()
+        assert workload.four_cycles == 0
+
+    def test_heavy_workload_has_heavy_edge(self):
+        from repro.graphs import max_edge_triangle_count
+
+        workload = build_workload("heavy-and-light-triangles")
+        assert max_edge_triangle_count(workload.graph) == workload.params["heavy"]
+
+    def test_dense_workload_regime(self):
+        workload = build_workload("dense-gnp")
+        assert workload.four_cycles > workload.n**2
+
+    def test_overrides(self):
+        workload = build_workload("light-triangles", n=300, num_triangles=50, noise_edges=0)
+        assert workload.triangles == 50
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table(["a", "bee"], [[1, 2.5], ["x", 0.00001]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "bee" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_records(self):
+        text = format_records([{"k": 1, "v": 2}, {"k": 3, "v": 4}])
+        assert "k" in text and "v" in text
+        assert format_records([]) == "(no rows)"
+
+    def test_format_cell_bool(self):
+        from repro.experiments.reporting import format_cell
+
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+
+
+class TestCalibration:
+    class _Algo:
+        """Estimates well when guess <= truth, collapses when guess is
+        far above the truth — mimicking undersampling."""
+
+        def __init__(self, guess, seed, truth=500.0):
+            self.guess = guess
+            self.truth = truth
+
+        def run(self, stream):
+            from repro.core import EstimateResult
+            from repro.streams import SpaceMeter
+
+            list(stream.edges())
+            estimate = self.truth if self.guess <= 4 * self.truth else 0.0
+            return EstimateResult(estimate, 1, SpaceMeter(), "stub")
+
+    def test_selects_self_consistent_guess(self):
+        from repro.streams import ArbitraryOrderStream
+
+        outcome = estimate_with_guesses(
+            lambda guess, seed: self._Algo(guess, seed),
+            lambda seed: ArbitraryOrderStream([(0, 1)]),
+            guesses=[1, 16, 256, 4096, 65536],
+        )
+        assert outcome.estimate == 500.0
+        assert outcome.selected_guess == 256
+        table = outcome.table()
+        assert any(row["selected"] for row in table)
+
+    def test_requires_guesses(self):
+        with pytest.raises(ValueError):
+            estimate_with_guesses(lambda g, s: None, lambda s: None, guesses=[])

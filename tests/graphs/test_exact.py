@@ -1,0 +1,194 @@
+"""Exact counters: closed-form families plus networkx cross-checks."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    complete_bipartite,
+    complete_graph,
+    count_four_cycles_through_pair,
+    cycle_graph,
+    diamond_k2h,
+    diamond_sizes,
+    erdos_renyi,
+    four_cycle_count,
+    four_cycles,
+    friendship_graph,
+    global_clustering_coefficient,
+    graph_summary,
+    grid_graph,
+    max_edge_four_cycle_count,
+    max_edge_triangle_count,
+    path_graph,
+    per_edge_four_cycle_counts,
+    per_edge_triangle_counts,
+    star_graph,
+    total_wedges,
+    triangle_count,
+    triangles,
+    wedge_counts,
+)
+from repro.graphs.graph import Graph
+
+
+def _choose(n, k):
+    from math import comb
+
+    return comb(n, k)
+
+
+class TestTriangleCount:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 8])
+    def test_complete_graph(self, n):
+        assert triangle_count(complete_graph(n)) == _choose(n, 3)
+
+    def test_bipartite_is_triangle_free(self):
+        assert triangle_count(complete_bipartite(4, 5)) == 0
+
+    def test_path_and_star(self):
+        assert triangle_count(path_graph(10)) == 0
+        assert triangle_count(star_graph(10)) == 0
+
+    def test_friendship(self):
+        assert triangle_count(friendship_graph(7)) == 7
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(40, 0.2, seed=seed)
+        expected = sum(nx.triangles(g.to_networkx()).values()) // 3
+        assert triangle_count(g) == expected
+
+    def test_enumeration_agrees_with_count(self, k5):
+        assert len(list(triangles(k5))) == triangle_count(k5)
+
+    def test_enumeration_unique(self, small_random):
+        listed = list(triangles(small_random))
+        assert len(listed) == len(set(listed)) == triangle_count(small_random)
+
+
+class TestPerEdgeTriangles:
+    def test_sums_to_three_t(self, k5):
+        counts = per_edge_triangle_counts(k5)
+        assert sum(counts.values()) == 3 * triangle_count(k5)
+
+    def test_book_graph_heavy_edge(self):
+        from repro.graphs import book_graph
+
+        g = book_graph(6)
+        counts = per_edge_triangle_counts(g)
+        assert counts[(0, 1)] == 6
+        assert max_edge_triangle_count(g) == 6
+        # every page edge is in exactly one triangle
+        others = [c for e, c in counts.items() if e != (0, 1)]
+        assert all(c == 1 for c in others)
+
+
+class TestWedges:
+    def test_star_wedges(self):
+        g = star_graph(5)
+        assert total_wedges(g) == _choose(5, 2)
+        counts = wedge_counts(g)
+        assert all(v == 1 for v in counts.values())
+        assert len(counts) == _choose(5, 2)
+
+    def test_wedge_identity_vs_four_cycles(self, small_random):
+        """sum C(x_uv, 2) == 2 * C4 — the paper's diagonal identity."""
+        doubled = sum(v * (v - 1) // 2 for v in wedge_counts(small_random).values())
+        assert doubled == 2 * four_cycle_count(small_random)
+
+    def test_diamond_sizes_filters_small(self):
+        g = diamond_k2h(4)
+        sizes = diamond_sizes(g)
+        assert sizes[(0, 1)] == 4
+        # middle-vertex pairs share exactly the two endpoints
+        assert all(h >= 2 for h in sizes.values())
+
+
+class TestFourCycleCount:
+    @pytest.mark.parametrize(
+        "a,b", [(2, 2), (2, 5), (3, 3), (4, 4), (3, 6)]
+    )
+    def test_complete_bipartite(self, a, b):
+        assert four_cycle_count(complete_bipartite(a, b)) == _choose(a, 2) * _choose(b, 2)
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_complete_graph(self, n):
+        assert four_cycle_count(complete_graph(n)) == 3 * _choose(n, 4)
+
+    def test_single_cycle(self):
+        assert four_cycle_count(cycle_graph(4)) == 1
+        assert four_cycle_count(cycle_graph(5)) == 0
+        assert four_cycle_count(cycle_graph(6)) == 0
+
+    def test_grid(self):
+        assert four_cycle_count(grid_graph(4, 5)) == 3 * 4
+
+    def test_diamond(self):
+        assert four_cycle_count(diamond_k2h(6)) == _choose(6, 2)
+
+    def test_friendship_has_none(self):
+        assert four_cycle_count(friendship_graph(9)) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_cycle_enumeration(self, seed):
+        g = erdos_renyi(18, 0.3, seed=seed)
+        nxg = g.to_networkx()
+        expected = sum(1 for c in nx.simple_cycles(nxg, length_bound=4) if len(c) == 4)
+        assert four_cycle_count(g) == expected
+
+    def test_enumeration_agrees(self, small_random):
+        listed = list(four_cycles(small_random))
+        assert len(listed) == len(set(listed)) == four_cycle_count(small_random)
+
+    def test_enumerated_cycles_are_cycles(self, small_random):
+        for a, b, c, d in four_cycles(small_random):
+            assert small_random.has_edge(a, b)
+            assert small_random.has_edge(b, c)
+            assert small_random.has_edge(c, d)
+            assert small_random.has_edge(d, a)
+            assert len({a, b, c, d}) == 4
+
+
+class TestPerEdgeFourCycles:
+    def test_sums_to_four_t(self, small_random):
+        counts = per_edge_four_cycle_counts(small_random)
+        assert sum(counts.values()) == 4 * four_cycle_count(small_random)
+
+    def test_diamond_edges(self):
+        g = diamond_k2h(5)
+        counts = per_edge_four_cycle_counts(g)
+        # every edge (u, w_i) is in one cycle per other middle vertex
+        assert all(c == 4 for c in counts.values())
+        assert max_edge_four_cycle_count(g) == 4
+
+    def test_pair_counting(self):
+        g = cycle_graph(4)  # 0-1-2-3
+        assert count_four_cycles_through_pair(g, (0, 1), (2, 3)) == 1
+        assert count_four_cycles_through_pair(g, (0, 1), (1, 2)) == 0  # shares a vertex
+
+    def test_pair_counting_two_cycles(self):
+        # K4 minus nothing: opposite edges (0,1),(2,3) sit in 2 cycles
+        g = complete_graph(4)
+        assert count_four_cycles_through_pair(g, (0, 1), (2, 3)) == 2
+
+
+class TestSummaries:
+    def test_clustering_of_complete_graph(self):
+        assert global_clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_of_star(self):
+        assert global_clustering_coefficient(star_graph(6)) == 0.0
+
+    def test_clustering_empty(self):
+        assert global_clustering_coefficient(Graph()) == 0.0
+
+    def test_graph_summary_keys(self, small_random):
+        summary = graph_summary(small_random)
+        assert summary["n"] == small_random.num_vertices
+        assert summary["m"] == small_random.num_edges
+        assert summary["triangles"] == triangle_count(small_random)
+        assert summary["four_cycles"] == four_cycle_count(small_random)
+
+    def test_clustering_matches_networkx(self, small_random):
+        expected = nx.transitivity(small_random.to_networkx())
+        assert global_clustering_coefficient(small_random) == pytest.approx(expected)

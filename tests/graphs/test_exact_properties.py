@@ -1,0 +1,82 @@
+"""Hypothesis property tests for the exact counters.
+
+These pin down the combinatorial identities every estimator in the
+library relies on, over arbitrary small graphs.
+"""
+
+from math import comb
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    four_cycle_count,
+    four_cycles,
+    per_edge_four_cycle_counts,
+    per_edge_triangle_counts,
+    total_wedges,
+    triangle_count,
+    triangles,
+    wedge_counts,
+)
+
+# arbitrary simple graphs on up to 12 vertices
+edge_strategy = st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+    lambda e: e[0] != e[1]
+)
+graph_strategy = st.lists(edge_strategy, max_size=40).map(Graph.from_edges)
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_triangle_count_matches_networkx(g):
+    expected = sum(nx.triangles(g.to_networkx()).values()) // 3 if g.num_vertices else 0
+    assert triangle_count(g) == expected
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_per_edge_triangles_sum_to_3t(g):
+    assert sum(per_edge_triangle_counts(g).values()) == 3 * triangle_count(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_wedge_diagonal_identity(g):
+    """sum_{u<v} C(x_uv, 2) == 2 * C4 for every graph."""
+    doubled = sum(comb(v, 2) for v in wedge_counts(g).values())
+    assert doubled == 2 * four_cycle_count(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_wedge_totals_consistent(g):
+    assert sum(wedge_counts(g).values()) == total_wedges(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=40, deadline=None)
+def test_four_cycle_enumeration_matches_count(g):
+    listed = list(four_cycles(g))
+    assert len(listed) == len(set(listed)) == four_cycle_count(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=40, deadline=None)
+def test_per_edge_four_cycles_sum_to_4t(g):
+    assert sum(per_edge_four_cycle_counts(g).values()) == 4 * four_cycle_count(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=40, deadline=None)
+def test_triangle_enumeration_matches_count(g):
+    listed = list(triangles(g))
+    assert len(listed) == len(set(listed)) == triangle_count(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=40, deadline=None)
+def test_handshake(g):
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges

@@ -1,0 +1,89 @@
+"""Matrix counters vs reference counters: exact equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    erdos_renyi,
+    four_cycle_count,
+    triangle_count,
+    wedge_counts,
+)
+from repro.graphs.fast import (
+    adjacency_matrix,
+    fast_counts,
+    fast_four_cycle_count,
+    fast_triangle_count,
+    fast_wedge_f2,
+)
+
+edge_strategy = st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+    lambda e: e[0] != e[1]
+)
+graph_strategy = st.lists(edge_strategy, max_size=45).map(Graph.from_edges)
+
+
+class TestAdjacencyMatrix:
+    def test_symmetric_zero_diagonal(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        a = adjacency_matrix(g)
+        assert (a == a.T).all()
+        assert (a.diagonal() == 0).all()
+        assert a.sum() == 2 * g.num_edges
+
+
+class TestEquivalence:
+    @given(graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_triangles(self, g):
+        assert fast_triangle_count(g) == triangle_count(g)
+
+    @given(graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_four_cycles(self, g):
+        assert fast_four_cycle_count(g) == four_cycle_count(g)
+
+    @given(graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_wedge_f2(self, g):
+        expected = sum(v * v for v in wedge_counts(g).values())
+        assert fast_wedge_f2(g) == expected
+
+    @given(graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_combined(self, g):
+        counts = fast_counts(g)
+        assert counts["triangles"] == triangle_count(g)
+        assert counts["four_cycles"] == four_cycle_count(g)
+
+
+class TestClosedForms:
+    def test_complete_graph(self):
+        from math import comb
+
+        g = complete_graph(12)
+        assert fast_triangle_count(g) == comb(12, 3)
+        assert fast_four_cycle_count(g) == 3 * comb(12, 4)
+
+    def test_bipartite(self):
+        from math import comb
+
+        g = complete_bipartite(5, 7)
+        assert fast_triangle_count(g) == 0
+        assert fast_four_cycle_count(g) == comb(5, 2) * comb(7, 2)
+
+    def test_empty(self):
+        assert fast_counts(Graph()) == {
+            "triangles": 0,
+            "four_cycles": 0,
+            "wedge_f2": 0,
+        }
+
+    def test_medium_random_graph(self):
+        g = erdos_renyi(120, 0.15, seed=9)
+        assert fast_triangle_count(g) == triangle_count(g)
+        assert fast_four_cycle_count(g) == four_cycle_count(g)

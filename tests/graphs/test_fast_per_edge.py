@@ -1,0 +1,49 @@
+"""Per-edge matrix counters vs the reference implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    book_graph,
+    complete_bipartite,
+    erdos_renyi,
+    per_edge_four_cycle_counts,
+    per_edge_triangle_counts,
+)
+from repro.graphs.fast import (
+    fast_per_edge_four_cycle_counts,
+    fast_per_edge_triangle_counts,
+)
+
+edge_strategy = st.tuples(st.integers(0, 10), st.integers(0, 10)).filter(
+    lambda e: e[0] != e[1]
+)
+graph_strategy = st.lists(edge_strategy, max_size=40).map(Graph.from_edges)
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_per_edge_triangles_match(g):
+    assert fast_per_edge_triangle_counts(g) == per_edge_triangle_counts(g)
+
+
+@given(graph_strategy)
+@settings(max_examples=60, deadline=None)
+def test_per_edge_four_cycles_match(g):
+    assert fast_per_edge_four_cycle_counts(g) == per_edge_four_cycle_counts(g)
+
+
+def test_book_graph_heavy_edge():
+    counts = fast_per_edge_triangle_counts(book_graph(9))
+    assert counts[(0, 1)] == 9
+
+
+def test_diamond_edges():
+    counts = fast_per_edge_four_cycle_counts(complete_bipartite(2, 6))
+    assert all(value == 5 for value in counts.values())
+
+
+def test_medium_graph():
+    g = erdos_renyi(80, 0.2, seed=3)
+    assert fast_per_edge_four_cycle_counts(g) == per_edge_four_cycle_counts(g)

@@ -1,0 +1,243 @@
+"""Generator guarantees: counts, sizes and structural properties."""
+
+from math import comb
+
+import pytest
+
+from repro.graphs import (
+    barabasi_albert,
+    book_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    diamond_k2h,
+    disjoint_union,
+    erdos_renyi,
+    four_cycle_count,
+    friendship_graph,
+    gnm_random_graph,
+    grid_graph,
+    heavy_edge_graph,
+    max_edge_triangle_count,
+    path_graph,
+    planted_diamonds,
+    planted_four_cycles,
+    planted_triangles,
+    random_bipartite,
+    star_graph,
+    triangle_count,
+)
+
+
+class TestClassicalGenerators:
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi(50, 0.1, seed=3)
+        b = erdos_renyi(50, 0.1, seed=3)
+        assert a == b
+
+    def test_erdos_renyi_seed_changes_graph(self):
+        a = erdos_renyi(50, 0.1, seed=3)
+        b = erdos_renyi(50, 0.1, seed=4)
+        assert a != b
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == comb(10, 2)
+
+    def test_erdos_renyi_validates_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(30, 70, seed=1)
+        assert g.num_edges == 70
+        assert g.num_vertices == 30
+
+    def test_gnm_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(5, 100)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(60, 3, seed=2)
+        assert g.num_vertices == 60
+        # seed clique C(4,2)=6 plus 3 per newcomer
+        assert g.num_edges == 6 + 3 * (60 - 4)
+
+    def test_barabasi_albert_validates(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_random_bipartite_triangle_free(self):
+        g = random_bipartite(15, 15, 0.4, seed=3)
+        assert triangle_count(g) == 0
+
+
+class TestStructuredGenerators:
+    def test_complete_counts(self):
+        assert complete_graph(6).num_edges == 15
+        assert complete_bipartite(3, 4).num_edges == 12
+
+    def test_cycle_path_star(self):
+        assert cycle_graph(7).num_edges == 7
+        assert path_graph(7).num_edges == 6
+        assert star_graph(7).num_edges == 7
+
+    def test_cycle_validates(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert four_cycle_count(g) == 2 * 3
+
+    def test_diamond(self):
+        g = diamond_k2h(5)
+        assert g.num_edges == 10
+        assert four_cycle_count(g) == comb(5, 2)
+
+    def test_diamond_validates(self):
+        with pytest.raises(ValueError):
+            diamond_k2h(0)
+
+    def test_book(self):
+        g = book_graph(8)
+        assert triangle_count(g) == 8
+        assert max_edge_triangle_count(g) == 8
+
+    def test_friendship(self):
+        g = friendship_graph(5)
+        assert triangle_count(g) == 5
+        assert four_cycle_count(g) == 0
+
+
+class TestPlantedWorkloads:
+    def test_planted_triangles_exact_before_noise(self):
+        g = planted_triangles(100, 20, extra_edges=0, seed=5)
+        assert triangle_count(g) == 20
+
+    def test_planted_triangles_validates_capacity(self):
+        with pytest.raises(ValueError):
+            planted_triangles(10, 20)
+
+    def test_planted_triangles_nondisjoint(self):
+        g = planted_triangles(30, 15, extra_edges=0, seed=5, disjoint=False)
+        assert triangle_count(g) >= 1  # overlaps may merge/crete triangles
+
+    def test_planted_four_cycles_exact(self):
+        g = planted_four_cycles(200, 30, extra_edges=0, seed=6)
+        assert four_cycle_count(g) == 30
+        assert triangle_count(g) == 0
+
+    def test_planted_four_cycles_validates(self):
+        with pytest.raises(ValueError):
+            planted_four_cycles(10, 20)
+
+    def test_planted_diamonds_exact(self):
+        sizes = [5, 3, 8]
+        g = planted_diamonds(60, sizes, extra_edges=0, seed=7)
+        assert four_cycle_count(g) == sum(comb(h, 2) for h in sizes)
+
+    def test_planted_diamonds_validates(self):
+        with pytest.raises(ValueError):
+            planted_diamonds(5, [10])
+        with pytest.raises(ValueError):
+            planted_diamonds(50, [0])
+
+    def test_noise_edges_added(self):
+        bare = planted_triangles(200, 10, extra_edges=0, seed=8)
+        noisy = planted_triangles(200, 10, extra_edges=50, seed=8)
+        assert noisy.num_edges == bare.num_edges + 50
+
+    def test_heavy_edge_graph(self):
+        g = heavy_edge_graph(200, heavy_triangles=40, light_triangles=10, seed=9)
+        assert triangle_count(g) == 50
+        assert max_edge_triangle_count(g) == 40
+
+    def test_heavy_edge_graph_validates(self):
+        with pytest.raises(ValueError):
+            heavy_edge_graph(10, 40, 10)
+
+
+class TestDisjointUnion:
+    def test_counts_add(self):
+        g = disjoint_union([complete_graph(4), complete_graph(5), cycle_graph(4)])
+        assert g.num_vertices == 13
+        assert triangle_count(g) == comb(4, 3) + comb(5, 3)
+        assert four_cycle_count(g) == 3 * comb(4, 4) + 3 * comb(5, 4) + 1
+
+    def test_empty_union(self):
+        g = disjoint_union([])
+        assert g.num_vertices == 0
+
+
+class TestChungLuAndPowerLaw:
+    def test_chung_lu_validates(self):
+        from repro.graphs import chung_lu
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            chung_lu([])
+        with _pytest.raises(ValueError):
+            chung_lu([-1.0, 2.0])
+        with _pytest.raises(ValueError):
+            chung_lu([0.0, 0.0])
+
+    def test_chung_lu_expected_degrees_roughly_track_weights(self):
+        from repro.graphs import chung_lu
+
+        weights = [20.0] * 5 + [2.0] * 95
+        g = chung_lu(weights, seed=3)
+        hub_degree = sum(g.degree(v) for v in range(5)) / 5
+        leaf_degree = sum(g.degree(v) for v in range(5, 100)) / 95
+        assert hub_degree > 3 * leaf_degree
+
+    def test_power_law_determinism_and_tail(self):
+        from repro.graphs import power_law_graph
+
+        a = power_law_graph(150, exponent=2.3, seed=4)
+        b = power_law_graph(150, exponent=2.3, seed=4)
+        assert a == b
+        degrees = sorted((a.degree(v) for v in a.vertices()), reverse=True)
+        assert degrees[0] >= 3 * max(1, degrees[len(degrees) // 2])
+
+    def test_power_law_validates(self):
+        from repro.graphs import power_law_graph
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            power_law_graph(10, exponent=1.0)
+
+
+class TestUserItemBipartite:
+    def test_triangle_free_and_sized(self):
+        from repro.graphs import triangle_count as tcount, user_item_bipartite
+
+        g = user_item_bipartite(80, 40, 4, popular_items=5, seed=2)
+        assert tcount(g) == 0
+        assert g.num_edges == 80 * 4
+
+    def test_popular_items_attract_more_users(self):
+        from repro.graphs import user_item_bipartite
+
+        g = user_item_bipartite(200, 60, 5, popular_items=6, popularity_boost=6, seed=3)
+        popular = sum(g.degree(200 + i) for i in range(6)) / 6
+        rest = sum(g.degree(200 + i) for i in range(6, 60)) / 54
+        assert popular > 2 * rest
+
+    def test_validates(self):
+        from repro.graphs import user_item_bipartite
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            user_item_bipartite(5, 3, 4)
+
+    def test_diamond_rich(self):
+        from repro.graphs import four_cycle_count as ccount, user_item_bipartite
+
+        g = user_item_bipartite(200, 60, 5, popular_items=6, popularity_boost=6, seed=3)
+        assert ccount(g) > 200  # hot item pairs create many diamonds

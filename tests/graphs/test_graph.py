@@ -1,0 +1,130 @@
+"""Unit tests for the Graph type and edge canonicalization."""
+
+import pytest
+
+from repro.graphs import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(4, 4)
+
+    def test_mixed_types_are_stable(self):
+        first = normalize_edge("a", 1)
+        second = normalize_edge(1, "a")
+        assert first == second
+
+    def test_string_vertices(self):
+        assert normalize_edge("v2", "v10") == ("v10", "v2")  # lexicographic
+
+
+class TestGraphConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_duplicate_edge_ignored(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(5, 5)
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 0)])
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_add_vertex_isolated(self):
+        g = Graph()
+        g.add_vertex(9)
+        assert g.num_vertices == 1
+        assert g.degree(9) == 0
+
+
+class TestGraphQueries:
+    def test_has_edge_symmetric(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_degree(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.degree(99) == 0
+
+    def test_max_degree(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert g.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_neighbors(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert g.neighbors(0) == {1, 2}
+        assert g.neighbors(42) == set()
+
+    def test_edges_canonical_once(self):
+        g = Graph.from_edges([(2, 1), (3, 2)])
+        edges = list(g.edges())
+        assert sorted(edges) == [(1, 2), (2, 3)]
+        assert len(edges) == len(set(edges))
+
+    def test_contains(self):
+        g = Graph.from_edges([(0, 1)])
+        assert 0 in g
+        assert 5 not in g
+
+
+class TestGraphMutation:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.remove_edge(0, 1)
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 1)
+        assert not g.remove_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+        assert g == Graph.from_edges([(0, 1)])
+
+    def test_relabeled(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        relabeled = g.relabeled({0: 10, 1: 11, 2: 12})
+        assert relabeled.has_edge(10, 11)
+        assert relabeled.has_edge(11, 12)
+        assert relabeled.num_edges == 2
+
+    def test_relabeled_rejects_collisions(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            g.relabeled({0: 5, 2: 5})
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b

@@ -1,0 +1,91 @@
+"""Edge-list I/O: parsing, reporting, round-tripping."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    iter_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestReadEdgeList:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        graph, report = read_edge_list(path)
+        assert graph.num_edges == 3
+        assert report.edges_kept == 3
+        assert report.duplicates_dropped == 0
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% other header\n\n0 1\n")
+        graph, report = read_edge_list(path)
+        assert graph.num_edges == 1
+        assert report.lines_skipped == 3
+
+    def test_separators(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0,1\n1;2\n2\t3\n3   4\n")
+        graph, _ = read_edge_list(path)
+        assert graph.num_edges == 4
+
+    def test_duplicates_and_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n2 2\n0 1\n")
+        graph, report = read_edge_list(path)
+        assert graph.num_edges == 1
+        assert report.duplicates_dropped == 2
+        assert report.self_loops_dropped == 1
+
+    def test_string_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        graph, _ = read_edge_list(path)
+        assert graph.has_edge("alice", "bob")
+
+    def test_integer_vertices_parsed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("007 10\n")
+        graph, _ = read_edge_list(path)
+        assert graph.has_edge(7, 10)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\njustone\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestWriteEdgeList:
+    def test_round_trip(self, tmp_path):
+        graph = erdos_renyi(40, 0.2, seed=1)
+        path = tmp_path / "g.txt"
+        written = write_edge_list(graph, path, header="generated\nby test")
+        assert written == graph.num_edges
+        loaded, report = read_edge_list(path)
+        assert loaded == graph
+        assert report.lines_skipped == 2  # the two header lines
+
+    def test_deterministic_order(self, tmp_path):
+        graph = Graph.from_edges([(3, 1), (0, 2), (1, 0)])
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert path.read_text().splitlines() == ["0 1", "0 2", "1 3"]
+
+
+class TestIterEdgeList:
+    def test_streams_raw_edges(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n1 2\n")
+        edges = list(iter_edge_list(path))
+        assert edges == [(0, 1), (0, 1), (1, 2)]  # duplicates preserved
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("oops\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_list(path))

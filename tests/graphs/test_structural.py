@@ -1,0 +1,113 @@
+"""Structural analysis helpers (heavy edges, Lemma 5.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    book_graph,
+    complete_bipartite,
+    complete_graph,
+    friendship_graph,
+    planted_diamonds,
+)
+from repro.graphs.structural import (
+    bad_four_cycle_edges,
+    check_lemma51,
+    cycles_by_bad_edge_count,
+    heaviness_summary,
+    heavy_triangle_edges,
+    wedge_histogram,
+)
+
+
+class TestHeavyTriangleEdges:
+    def test_book_graph(self):
+        g = book_graph(6)
+        assert heavy_triangle_edges(g, threshold=6) == {(0, 1)}
+        assert heavy_triangle_edges(g, threshold=7) == set()
+        assert len(heavy_triangle_edges(g, threshold=1)) == g.num_edges
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            heavy_triangle_edges(Graph(), threshold=-1)
+
+
+class TestBadFourCycleEdges:
+    def test_cycle_free_graph_has_none(self):
+        assert bad_four_cycle_edges(friendship_graph(20), eta=1.0) == set()
+
+    def test_single_diamond_all_edges_bad_at_small_eta(self):
+        g = complete_bipartite(2, 10)  # T = 45, every edge in 9 cycles
+        bad = bad_four_cycle_edges(g, eta=1.0)  # threshold sqrt(45) ~ 6.7
+        assert bad == set(g.edges())
+
+    def test_large_eta_no_bad_edges(self):
+        g = complete_bipartite(2, 10)
+        assert bad_four_cycle_edges(g, eta=100.0) == set()
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            bad_four_cycle_edges(Graph(), eta=0)
+
+
+class TestCyclesByBadEdgeCount:
+    def test_histogram_sums_to_t(self):
+        g = planted_diamonds(200, [8, 5, 3], seed=1)
+        from repro.graphs import four_cycle_count
+
+        histogram = cycles_by_bad_edge_count(g, eta=2.0)
+        assert sum(histogram.values()) == four_cycle_count(g)
+
+    def test_all_bad_case(self):
+        g = complete_bipartite(2, 10)
+        histogram = cycles_by_bad_edge_count(g, eta=1.0)
+        assert histogram[4] == 45  # every cycle has 4 bad edges
+        assert histogram[0] == histogram[1] == 0
+
+
+class TestLemma51Report:
+    def test_report_fields(self):
+        g = complete_graph(10)
+        report = check_lemma51(g, eta=90.0)
+        assert report.total_cycles == 3 * math.comb(10, 4)
+        assert report.holds
+        assert report.slack >= 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=25,
+        ),
+        st.sampled_from([2.0, 8.0, 90.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_holds_on_arbitrary_graphs(self, edges, eta):
+        """Lemma 5.1 is a theorem: it must hold for every graph."""
+        g = Graph.from_edges(edges)
+        report = check_lemma51(g, eta)
+        assert report.holds
+
+
+class TestSummaries:
+    def test_wedge_histogram(self):
+        g = complete_bipartite(2, 5)  # the (u,v) pair has x=5; mid pairs x=2
+        histogram = wedge_histogram(g)
+        assert histogram[5] == 1
+        assert histogram[2] == math.comb(5, 2)
+
+    def test_heaviness_summary_book(self):
+        summary = heaviness_summary(book_graph(8))
+        assert summary["triangles"] == 8
+        assert summary["max_edge_triangles"] == 8
+        assert summary["triangle_concentration"] == 1.0
+
+    def test_heaviness_summary_empty(self):
+        summary = heaviness_summary(Graph())
+        assert summary["triangles"] == 0
+        assert summary["triangle_concentration"] == 0.0

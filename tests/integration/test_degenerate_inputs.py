@@ -1,0 +1,126 @@
+"""Degenerate-input robustness: every algorithm on trivial streams.
+
+Production code meets empty files, single edges and disconnected
+dust long before it meets interesting graphs.  Every algorithm must
+return a finite, non-negative estimate (zero where the true count is
+zero) without crashing.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BeraChakrabartiFourCycles,
+    CormodeJowhariTriangles,
+    EdgeSamplingFourCycles,
+    EdgeSamplingTriangles,
+    ExactFourCycleStream,
+    ExactTriangleStream,
+    TriestBase,
+    TriestImpr,
+    TwoPassTriangles,
+    WedgePairSamplingFourCycles,
+)
+from repro.core import (
+    FourCycleAdjacencyDiamond,
+    FourCycleArbitraryOnePass,
+    FourCycleArbitraryThreePass,
+    FourCycleDistinguisher,
+    FourCycleL2Sampling,
+    FourCycleMoment,
+    TriangleRandomOrder,
+)
+from repro.graphs import Graph, path_graph, star_graph
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream, RandomOrderStream
+
+
+def _tiny_graphs():
+    single = Graph.from_edges([(0, 1)])
+    two_disjoint = Graph.from_edges([(0, 1), (2, 3)])
+    return {
+        "single-edge": single,
+        "two-disjoint-edges": two_disjoint,
+        "path-4": path_graph(4),
+        "star-5": star_graph(5),
+    }
+
+
+# exact-on-cycle-free algorithms: these must answer exactly 0 on the
+# tiny cycle-free graphs (their estimators only fire on real wedges /
+# cycles).  The moment-sketch algorithms are excluded — their output is
+# a difference of randomized sketches and is only *approximately* 0.
+EDGE_ALGORITHMS = [
+    lambda: TriangleRandomOrder(t_guess=1, epsilon=0.3, seed=1),
+    lambda: FourCycleArbitraryThreePass(t_guess=1, epsilon=0.3, seed=1),
+    lambda: FourCycleDistinguisher(t_guess=1, seed=1),
+    lambda: CormodeJowhariTriangles(t_guess=1, epsilon=0.3),
+    lambda: BeraChakrabartiFourCycles(t_guess=1, epsilon=0.3, seed=1),
+    lambda: TwoPassTriangles(t_guess=1, epsilon=0.3, seed=1),
+    lambda: TriestBase(memory=10, seed=1),
+    lambda: TriestImpr(memory=10, seed=1),
+    lambda: EdgeSamplingTriangles(p=0.5, seed=1),
+    lambda: EdgeSamplingFourCycles(p=0.5, seed=1),
+    lambda: ExactTriangleStream(),
+    lambda: ExactFourCycleStream(),
+]
+
+ADJACENCY_ALGORITHMS = [
+    lambda: FourCycleAdjacencyDiamond(t_guess=1, epsilon=0.3, seed=1),
+    lambda: FourCycleMoment(t_guess=1, epsilon=0.3, groups=2, group_size=2, seed=1),
+    lambda: FourCycleL2Sampling(
+        t_guess=1, epsilon=0.3, num_samplers=2, groups=2, group_size=2, seed=1
+    ),
+    lambda: WedgePairSamplingFourCycles(wedge_probability=0.5, seed=1),
+]
+
+# randomized-sketch algorithms: approximately zero on cycle-free dust
+SKETCH_EDGE_ALGORITHMS = [
+    lambda: FourCycleArbitraryOnePass(
+        t_guess=1, epsilon=0.3, groups=2, group_size=2, seed=1
+    ),
+]
+
+
+@pytest.mark.parametrize("graph_name", sorted(_tiny_graphs()))
+def test_sketch_algorithms_bounded_on_tiny_graphs(graph_name):
+    graph = _tiny_graphs()[graph_name]
+    for factory in SKETCH_EDGE_ALGORITHMS:
+        result = factory().run(RandomOrderStream(graph, seed=3))
+        assert 0.0 <= result.estimate <= 25.0  # noise-scale, not runaway
+
+
+@pytest.mark.parametrize("factory_index", range(len(EDGE_ALGORITHMS)))
+@pytest.mark.parametrize("graph_name", sorted(_tiny_graphs()))
+def test_edge_stream_algorithms_on_tiny_graphs(factory_index, graph_name):
+    graph = _tiny_graphs()[graph_name]
+    algorithm = EDGE_ALGORITHMS[factory_index]()
+    result = algorithm.run(RandomOrderStream(graph, seed=3))
+    assert result.estimate == 0.0  # none of these graphs has any cycle
+    assert result.space_items >= 0
+
+
+@pytest.mark.parametrize("factory_index", range(len(ADJACENCY_ALGORITHMS)))
+@pytest.mark.parametrize("graph_name", sorted(_tiny_graphs()))
+def test_adjacency_algorithms_on_tiny_graphs(factory_index, graph_name):
+    graph = _tiny_graphs()[graph_name]
+    algorithm = ADJACENCY_ALGORITHMS[factory_index]()
+    result = algorithm.run(AdjacencyListStream(graph, seed=3))
+    assert result.estimate >= 0.0
+    assert result.estimate == result.estimate  # not NaN
+    assert result.estimate < 1e12  # no runaway scaling on tiny inputs
+
+
+@pytest.mark.parametrize("factory_index", range(len(EDGE_ALGORITHMS)))
+def test_edge_stream_algorithms_on_empty_stream(factory_index):
+    algorithm = EDGE_ALGORITHMS[factory_index]()
+    result = algorithm.run(ArbitraryOrderStream([]))
+    assert result.estimate == 0.0
+
+
+@pytest.mark.parametrize("factory_index", range(len(ADJACENCY_ALGORITHMS)))
+def test_adjacency_algorithms_on_edgeless_graph(factory_index):
+    graph = Graph()
+    graph.add_vertex(0)
+    graph.add_vertex(1)
+    algorithm = ADJACENCY_ALGORITHMS[factory_index]()
+    result = algorithm.run(AdjacencyListStream(graph, seed=1))
+    assert result.estimate == 0.0

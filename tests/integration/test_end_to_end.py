@@ -1,0 +1,116 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the public API exactly the way the examples and the
+benchmark harness do: build a workload, run several algorithms and
+baselines through the trial runner, and check the combined picture.
+"""
+
+import pytest
+
+from repro.baselines import (
+    CormodeJowhariTriangles,
+    ExactFourCycleStream,
+    ExactTriangleStream,
+)
+from repro.core import (
+    FourCycleAdjacencyDiamond,
+    FourCycleArbitraryThreePass,
+    TriangleRandomOrder,
+)
+from repro.experiments import build_workload, estimate_with_guesses, run_trials
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream, RandomOrderStream
+
+
+class TestTrianglePipeline:
+    def test_runner_with_real_algorithm(self):
+        workload = build_workload(
+            "light-triangles", n=500, num_triangles=100, noise_edges=600
+        )
+        stats = run_trials(
+            algorithm_factory=lambda seed: TriangleRandomOrder(
+                t_guess=workload.triangles, epsilon=0.3, seed=seed
+            ),
+            stream_factory=lambda seed: RandomOrderStream(workload.graph, seed=seed),
+            truth=workload.triangles,
+            trials=7,
+        )
+        assert stats.median_relative_error < 0.35
+        assert stats.passes == 1
+        assert stats.median_space > 0
+
+    def test_exact_baseline_agrees_with_workload(self):
+        workload = build_workload("social-like-triangles", n=200)
+        result = ExactTriangleStream().run(
+            ArbitraryOrderStream.from_graph(workload.graph)
+        )
+        assert result.estimate == workload.triangles
+
+    def test_unknown_t_calibration_on_real_algorithm(self):
+        """The estimate_with_guesses wrapper around Theorem 2.1."""
+        workload = build_workload(
+            "light-triangles", n=500, num_triangles=120, noise_edges=500
+        )
+        outcome = estimate_with_guesses(
+            algorithm_factory=lambda guess, seed: TriangleRandomOrder(
+                t_guess=guess, epsilon=0.3, seed=seed
+            ),
+            stream_factory=lambda seed: RandomOrderStream(workload.graph, seed=seed),
+            guesses=[1, 16, 256, 4096],
+            seed=3,
+        )
+        assert abs(outcome.estimate - workload.triangles) / workload.triangles < 0.5
+
+
+class TestFourCyclePipeline:
+    def test_adjacency_and_arbitrary_agree(self):
+        """Two different models, two different algorithms, one truth."""
+        workload = build_workload(
+            "diamond-mixture",
+            n=900,
+            large=(20,) * 4,
+            medium=(8,) * 8,
+            small=(3,) * 10,
+            noise_edges=200,
+        )
+        truth = workload.four_cycles
+        diamond = FourCycleAdjacencyDiamond(t_guess=truth, epsilon=0.3, seed=1).run(
+            AdjacencyListStream(workload.graph, seed=2)
+        )
+        threepass = FourCycleArbitraryThreePass(t_guess=truth, epsilon=0.3, seed=1).run(
+            RandomOrderStream(workload.graph, seed=2)
+        )
+        assert abs(diamond.estimate - truth) / truth < 0.25
+        assert abs(threepass.estimate - truth) / truth < 0.25
+
+    def test_exact_c4_baseline(self):
+        workload = build_workload("noisy-gnp", n=150, p=0.05)
+        result = ExactFourCycleStream().run(
+            AdjacencyListStream(workload.graph, seed=1)
+        )
+        assert result.estimate == workload.four_cycles
+
+
+class TestCrossAlgorithmComparison:
+    def test_mv_beats_cj_on_heavy_workload(self):
+        """The headline E1 shape: Theorem 2.1 dominates the CJ-style
+        baseline on heavy-edge inputs at comparable space."""
+        workload = build_workload(
+            "heavy-and-light-triangles",
+            n=1200,
+            heavy_triangles=300,
+            light_triangles_count=100,
+        )
+        truth = workload.triangles
+        mv = run_trials(
+            lambda seed: TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed),
+            lambda seed: RandomOrderStream(workload.graph, seed=seed),
+            truth=truth,
+            trials=9,
+        )
+        cj = run_trials(
+            lambda seed: CormodeJowhariTriangles(t_guess=truth, epsilon=0.3),
+            lambda seed: RandomOrderStream(workload.graph, seed=seed),
+            truth=truth,
+            trials=9,
+        )
+        assert mv.mean_relative_error < cj.mean_relative_error

@@ -1,0 +1,85 @@
+"""Hypothesis properties: in exact-sampling mode the algorithms are
+*deterministically* correct on arbitrary graphs.
+
+Driving every sampling probability to 1 (huge ``c``, tiny ``t_guess``)
+turns each randomized algorithm into an exact procedure whose output
+is fully determined by its combination logic — estimator scalings,
+over-count coefficients, class bookkeeping.  These properties pin that
+logic down over arbitrary small graphs, which catches exactly the
+class of bugs unit tests on structured examples miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FourCycleArbitraryThreePass,
+    FourCycleDistinguisher,
+    TriangleRandomOrder,
+)
+from repro.baselines import TwoPassTriangles
+from repro.graphs import Graph, four_cycle_count, max_edge_triangle_count, triangle_count
+from repro.streams import ArbitraryOrderStream, RandomOrderStream
+
+edge_strategy = st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+    lambda e: e[0] != e[1]
+)
+graph_strategy = st.lists(edge_strategy, min_size=1, max_size=30).map(Graph.from_edges)
+
+
+@given(graph_strategy, st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_triangle_exact_mode_counts_light_graphs_exactly(g, seed):
+    """With all probabilities 1 and every edge light, Theorem 2.1's
+    estimator returns the exact triangle count."""
+    truth = triangle_count(g)
+    # pick t_guess so the heavy threshold sqrt(T) exceeds every t_e
+    t_guess = max(1, (max_edge_triangle_count(g) + 1) ** 2 * 4)
+    algorithm = TriangleRandomOrder(
+        t_guess=t_guess, epsilon=0.3, c=10**6, seed=seed
+    )
+    result = algorithm.run(RandomOrderStream(g, seed=seed))
+    assert result.estimate == truth
+
+
+@given(graph_strategy, st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_threepass_exact_mode_counts_exactly(g, seed):
+    """p = 1 and eta huge: every cycle stored, everything light, and
+    the A0/4p^3 identity must be exact."""
+    truth = four_cycle_count(g)
+    algorithm = FourCycleArbitraryThreePass(
+        t_guess=1, epsilon=0.3, eta=10**9, c=10**6, seed=seed
+    )
+    result = algorithm.run(ArbitraryOrderStream.from_graph(g))
+    assert result.estimate == truth
+
+
+@given(graph_strategy, st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_distinguisher_exact_mode_is_deterministic(g, seed):
+    """p = 1: the distinguisher finds a cycle iff one exists."""
+    algorithm = FourCycleDistinguisher(t_guess=1, c=10**6, seed=seed)
+    found = algorithm.decide(ArbitraryOrderStream.from_graph(g))
+    assert found == (four_cycle_count(g) > 0)
+
+
+@given(graph_strategy, st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_twopass_baseline_exact_mode(g, seed):
+    truth = triangle_count(g)
+    algorithm = TwoPassTriangles(t_guess=1, epsilon=0.9, c=10**6, seed=seed)
+    result = algorithm.run(ArbitraryOrderStream.from_graph(g))
+    assert result.estimate == truth
+
+
+@given(graph_strategy)
+@settings(max_examples=30, deadline=None)
+def test_estimates_are_finite_and_nonnegative(g):
+    """Sanity across randomized regimes: no NaNs, no negatives."""
+    truth = max(1, four_cycle_count(g))
+    result = FourCycleArbitraryThreePass(t_guess=truth, epsilon=0.3, seed=1).run(
+        ArbitraryOrderStream.from_graph(g)
+    )
+    assert result.estimate >= 0
+    assert result.estimate == result.estimate  # not NaN

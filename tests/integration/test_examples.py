@@ -1,0 +1,41 @@
+"""Every example script must run clean — examples are API contracts.
+
+Each script is executed in a subprocess (as a user would run it) and
+must exit 0 with its headline table present in stdout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "Triangles in one pass",
+    "social_network_triangles.py": "Social-graph triangle analysis",
+    "motif_fourcycles.py": "Co-engagement graph",
+    "lower_bound_demo.py": "DISJ solved through",
+    "file_streaming.py": "Counting straight from an edge-list file",
+    "adversarial_orders.py": "under different orders",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "examples/ and the test expectations drifted apart"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_MARKERS[script] in completed.stdout

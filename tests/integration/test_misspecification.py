@@ -1,0 +1,103 @@
+"""Failure injection: what happens when t_guess is wrong.
+
+The paper parameterizes every algorithm by the unknown count T.  These
+tests document the promise-problem semantics under misspecification:
+
+* **under-guessing** (t_guess << T) makes sampling denser — space goes
+  UP, accuracy is preserved;
+* **over-guessing** (t_guess >> T) starves the samplers — space goes
+  DOWN and the estimate may degrade (which is why the guess schedule
+  walks guesses downward until self-consistency).
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import FourCycleDistinguisher, TriangleRandomOrder
+from repro.experiments import estimate_with_guesses, guess_schedule
+from repro.graphs import (
+    four_cycle_count,
+    planted_four_cycles,
+    planted_triangles,
+    triangle_count,
+)
+from repro.streams import RandomOrderStream
+
+
+@pytest.fixture(scope="module")
+def triangle_graph():
+    return planted_triangles(700, 160, extra_edges=900, seed=3)
+
+
+class TestUnderGuessing:
+    def test_accuracy_preserved(self, triangle_graph):
+        truth = triangle_count(triangle_graph)
+        estimates = [
+            TriangleRandomOrder(t_guess=truth / 8, epsilon=0.3, seed=seed)
+            .run(RandomOrderStream(triangle_graph, seed=100 + seed))
+            .estimate
+            for seed in range(7)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.3
+
+    def test_space_increases(self, triangle_graph):
+        truth = triangle_count(triangle_graph)
+        kwargs = dict(epsilon=0.3, c=0.05, use_log_factor=False, seed=1)
+        under = TriangleRandomOrder(t_guess=truth / 8, **kwargs).run(
+            RandomOrderStream(triangle_graph, seed=5)
+        )
+        right = TriangleRandomOrder(t_guess=truth, **kwargs).run(
+            RandomOrderStream(triangle_graph, seed=5)
+        )
+        assert under.space_items > right.space_items
+
+
+class TestOverGuessing:
+    def test_space_decreases(self, triangle_graph):
+        truth = triangle_count(triangle_graph)
+        kwargs = dict(epsilon=0.3, c=0.05, use_log_factor=False, seed=1)
+        over = TriangleRandomOrder(t_guess=truth * 16, **kwargs).run(
+            RandomOrderStream(triangle_graph, seed=5)
+        )
+        right = TriangleRandomOrder(t_guess=truth, **kwargs).run(
+            RandomOrderStream(triangle_graph, seed=5)
+        )
+        assert over.space_items < right.space_items
+
+    def test_distinguisher_overguess_misses(self):
+        """A vastly over-promised T starves the sample so the
+        distinguisher can no longer find cycles — documented behavior,
+        not a bug (the promise was violated)."""
+        graph = planted_four_cycles(1500, 60, extra_edges=300, seed=7)
+        truth = four_cycle_count(graph)
+        hits = sum(
+            FourCycleDistinguisher(t_guess=truth * 10**4, c=1.0, seed=seed).decide(
+                RandomOrderStream(graph, seed=300 + seed)
+            )
+            for seed in range(6)
+        )
+        correct_hits = sum(
+            FourCycleDistinguisher(t_guess=truth, c=3.0, seed=seed).decide(
+                RandomOrderStream(graph, seed=300 + seed)
+            )
+            for seed in range(6)
+        )
+        assert correct_hits > hits
+
+
+class TestGuessScheduleRecovers:
+    def test_calibration_beats_blind_overguess(self, triangle_graph):
+        truth = triangle_count(triangle_graph)
+        outcome = estimate_with_guesses(
+            algorithm_factory=lambda guess, seed: TriangleRandomOrder(
+                t_guess=guess, epsilon=0.3, seed=seed
+            ),
+            stream_factory=lambda seed: RandomOrderStream(triangle_graph, seed=seed),
+            guesses=guess_schedule(triangle_graph.num_edges),
+            seed=4,
+        )
+        assert abs(outcome.estimate - truth) / truth < 0.5
+        # the selected guess is within two schedule steps of the truth
+        assert outcome.selected_guess <= 16 * truth

@@ -1,0 +1,64 @@
+"""The shipped sample dataset: integrity and end-to-end usability."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import FourCycleAdjacencyDiamond, TriangleRandomOrder
+from repro.graphs import four_cycle_count, read_edge_list, triangle_count
+from repro.streams import AdjacencyListStream, FileEdgeStream, RandomOrderStream
+
+DATA = Path(__file__).resolve().parents[2] / "data" / "sample_collaboration.txt"
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    graph, report = read_edge_list(DATA)
+    assert report.duplicates_dropped == 0
+    return graph
+
+
+class TestIntegrity:
+    def test_counts_match_header(self, sample_graph):
+        """The header records the exact counts; the file must match."""
+        header = DATA.read_text().splitlines()[2]
+        assert f"m={sample_graph.num_edges}" in header
+        assert f"triangles={triangle_count(sample_graph)}" in header
+        assert f"four_cycles={four_cycle_count(sample_graph)}" in header
+
+    def test_expected_scale(self, sample_graph):
+        assert sample_graph.num_edges == 2166
+        assert triangle_count(sample_graph) == 441
+        assert four_cycle_count(sample_graph) == 4544
+
+
+class TestEndToEnd:
+    def test_triangles_from_file_stream(self, sample_graph):
+        truth = triangle_count(sample_graph)
+        stream = FileEdgeStream(DATA)
+        assert stream.num_edges == sample_graph.num_edges
+        result = TriangleRandomOrder(t_guess=truth, epsilon=0.4, seed=2).run(stream)
+        # file order is adversarial for the random-order algorithm, so
+        # only a sanity band is asserted here; the shuffled run below
+        # carries the accuracy claim
+        assert result.estimate >= 0
+
+    def test_triangles_random_order(self, sample_graph):
+        import statistics
+
+        truth = triangle_count(sample_graph)
+        estimates = [
+            TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed)
+            .run(RandomOrderStream(sample_graph, seed=seed))
+            .estimate
+            for seed in range(5)
+        ]
+        median = statistics.median(estimates)
+        assert abs(median - truth) / truth < 0.4
+
+    def test_four_cycles_adjacency(self, sample_graph):
+        truth = four_cycle_count(sample_graph)
+        result = FourCycleAdjacencyDiamond(t_guess=truth, epsilon=0.3, seed=1).run(
+            AdjacencyListStream(sample_graph, seed=3)
+        )
+        assert result.relative_error(truth) < 0.3

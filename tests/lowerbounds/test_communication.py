@@ -1,0 +1,45 @@
+"""Communication problem instances."""
+
+import pytest
+
+from repro.lowerbounds import DisjointnessInstance, IndexInstance
+
+
+class TestIndexInstance:
+    def test_random_shape(self):
+        instance = IndexInstance.random(50, seed=1)
+        assert len(instance.bits) == 50
+        assert 0 <= instance.index < 50
+        assert instance.answer == instance.bits[instance.index]
+
+    def test_deterministic(self):
+        assert IndexInstance.random(50, seed=1) == IndexInstance.random(50, seed=1)
+
+    def test_seed_varies(self):
+        a = IndexInstance.random(50, seed=1)
+        b = IndexInstance.random(50, seed=2)
+        assert a != b
+
+
+class TestDisjointnessInstance:
+    def test_answer(self):
+        assert DisjointnessInstance(s1=[1, 0, 1], s2=[0, 0, 1]).answer == 1
+        assert DisjointnessInstance(s1=[1, 0, 1], s2=[0, 1, 0]).answer == 0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            DisjointnessInstance(s1=[1], s2=[1, 0])
+
+    def test_intersection_indices(self):
+        instance = DisjointnessInstance(s1=[1, 1, 0, 1], s2=[1, 0, 0, 1])
+        assert instance.intersection_indices == [0, 3]
+
+    @pytest.mark.parametrize("answer", [0, 1])
+    def test_random_with_answer(self, answer):
+        for seed in range(10):
+            instance = DisjointnessInstance.random_with_answer(40, answer, seed=seed)
+            assert instance.answer == answer
+
+    def test_planted_intersection_is_single_when_lucky(self):
+        instance = DisjointnessInstance.random_with_answer(40, 1, seed=3)
+        assert len(instance.intersection_indices) >= 1

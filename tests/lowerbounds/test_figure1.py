@@ -1,0 +1,102 @@
+"""The Figure 1 construction and the Theorem 2.7 protocol simulation."""
+
+import math
+
+import pytest
+
+from repro.core import TriangleRandomOrder
+from repro.graphs import triangle_count
+from repro.lowerbounds import (
+    build_figure1,
+    prefix_reveals_special_pair,
+    run_random_partition_protocol,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_triangle_count_tracks_planted_bit(self, seed):
+        construction = build_figure1(n=6, t=5, seed=seed)
+        assert triangle_count(construction.graph) == construction.expected_triangles
+
+    def test_forced_bit_one(self):
+        x = [[1] * 4 for _ in range(4)]
+        construction = build_figure1(n=4, t=7, seed=1, x=x, i_star=2, j_star=3)
+        assert construction.planted_bit == 1
+        assert triangle_count(construction.graph) == 7
+
+    def test_forced_bit_zero(self):
+        x = [[0] * 4 for _ in range(4)]
+        construction = build_figure1(n=4, t=7, seed=1, x=x, i_star=2, j_star=3)
+        assert triangle_count(construction.graph) == 0
+
+    def test_w_degrees_at_most_two(self):
+        construction = build_figure1(n=5, t=6, seed=2)
+        graph = construction.graph
+        for v in graph.vertices():
+            if isinstance(v, str) and v.startswith("w"):
+                assert graph.degree(v) <= 2
+
+    def test_edge_budget(self):
+        """m = |E_x| + 2nT - T(shared block counted once per endpoint)."""
+        n, t = 5, 6
+        construction = build_figure1(n=n, t=t, seed=3)
+        ones = sum(sum(row) for row in construction.x)
+        assert construction.graph.num_edges == ones + 2 * n * t
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            build_figure1(n=0, t=5)
+
+
+class TestPrefixSecrecy:
+    def test_short_prefix_rarely_reveals(self):
+        """A prefix of ~ m/sqrt(T) edges almost never contains both
+        edges at a shared W vertex — the engine of Theorem 2.6."""
+        construction = build_figure1(n=10, t=25, seed=1, x=[[1] * 10] * 10)
+        fraction = 1.0 / (2.0 * math.sqrt(construction.t))
+        reveals = sum(
+            prefix_reveals_special_pair(construction, fraction, seed=seed)
+            for seed in range(30)
+        )
+        assert reveals <= 10
+
+    def test_full_stream_always_reveals(self):
+        construction = build_figure1(n=10, t=25, seed=1, x=[[1] * 10] * 10)
+        assert prefix_reveals_special_pair(construction, 1.0, seed=0)
+
+
+class TestProtocol:
+    def test_protocol_decides_correctly_with_enough_space(self):
+        """Majority over 3 protocol repetitions per instance (the
+        construction plants all T triangles on one edge, so individual
+        runs carry the Lemma 2.3 heavy-miss probability)."""
+        correct = 0
+        trials = 8
+        for seed in range(trials):
+            construction = build_figure1(n=8, t=16, seed=seed)
+            votes = 0
+            for rep in range(3):
+                outcome = run_random_partition_protocol(
+                    construction,
+                    lambda: TriangleRandomOrder(t_guess=16, epsilon=0.3, seed=7 + rep),
+                    alice_probability=0.25,
+                    seed=seed * 31 + rep,
+                )
+                votes += outcome.decided_positive
+            decided = votes >= 2
+            correct += decided == bool(construction.planted_bit)
+        assert correct >= trials - 1
+
+    def test_outcome_fields(self):
+        construction = build_figure1(n=5, t=4, seed=1)
+        outcome = run_random_partition_protocol(
+            construction,
+            lambda: TriangleRandomOrder(t_guess=4, epsilon=0.3, seed=3),
+            alice_probability=0.3,
+            seed=2,
+        )
+        assert outcome.alice_tokens + outcome.bob_tokens == len(
+            construction.all_edges()
+        )
+        assert outcome.communication_items > 0

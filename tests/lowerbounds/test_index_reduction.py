@@ -1,0 +1,121 @@
+"""The faithful Theorem 2.7 INDEX reduction."""
+
+import pytest
+
+from repro.core import TriangleRandomOrder
+from repro.graphs import triangle_count
+from repro.lowerbounds import IndexInstance
+from repro.lowerbounds.index_reduction import (
+    ReductionFailure,
+    build_index_reduction,
+    run_index_protocol,
+)
+
+
+def _build(seed, n=6, t=12, length=12, p=0.1):
+    instance = IndexInstance.random(length, seed=seed)
+    return build_index_reduction(instance, n=n, t=t, p=p, seed=seed), instance
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_triangles_encode_hidden_bit(self, seed):
+        reduction, instance = _build(seed)
+        graph = reduction.graph()
+        assert triangle_count(graph) == reduction.expected_triangles
+        assert reduction.hidden_bit == instance.answer
+
+    def test_special_pair_is_alices_kth_position(self, ):
+        reduction, instance = _build(3)
+        # the hidden bit is literally z[k]
+        assert reduction.hidden_bit == instance.bits[instance.index]
+
+    def test_every_hub_reaches_degree_t_in_w(self):
+        reduction, _ = _build(5)
+        graph = reduction.graph()
+        for i in range(reduction.n):
+            for name in (f"u{i}", f"v{i}"):
+                w_degree = sum(
+                    1 for nb in graph.neighbors(name) if str(nb).startswith("w")
+                )
+                assert w_degree == reduction.t
+
+    def test_alice_side_w_degrees_at_most_one(self):
+        reduction, _ = _build(7)
+        from repro.graphs import Graph
+
+        alice_graph = Graph.from_edges(reduction.alice_edges) if reduction.alice_edges else Graph()
+        for v in alice_graph.vertices():
+            if str(v).startswith("w"):
+                assert alice_graph.degree(v) <= 1
+
+    def test_validates_parameters(self):
+        instance = IndexInstance.random(100, seed=1)
+        with pytest.raises(ValueError):
+            build_index_reduction(instance, n=5, t=4, p=0.1)  # 100 > 25
+        with pytest.raises(ValueError):
+            build_index_reduction(IndexInstance.random(4, seed=1), n=4, t=4, p=0.0)
+
+    def test_failure_event_raised_when_budget_negative(self):
+        # p close to 1 makes b_u* + b_v* > T almost surely
+        instance = IndexInstance.random(4, seed=2)
+        with pytest.raises(ReductionFailure):
+            for seed in range(50):
+                build_index_reduction(instance, n=4, t=3, p=0.95, seed=seed)
+
+
+class TestProtocol:
+    """The protocol demonstrates the lower bound's *tradeoff*, not a
+    win for the sub-linear algorithm: the reduction conditions on the
+    special matrix token being Alice's, so it always arrives in the
+    short Alice segment — the exact adversarial placement the
+    Omega(m/sqrt(T)) bound says low-space algorithms cannot survive.
+    A high-communication (store-everything) protocol decides INDEX
+    perfectly; the sub-linear algorithm systematically misses the
+    planted bit."""
+
+    def test_high_communication_protocol_solves_index(self):
+        from repro.baselines import ExactTriangleStream
+
+        correct = 0
+        trials = 8
+        for seed in range(trials):
+            reduction, instance = _build(seed, n=8, t=16, length=16, p=0.1)
+            outcome = run_index_protocol(
+                reduction, ExactTriangleStream, seed=seed
+            )
+            correct += outcome.answered == instance.answer
+            # store-everything communication ~ m = Theta(n T)
+            assert outcome.communication_items >= reduction.t * reduction.n
+        assert correct == trials
+
+    def test_sublinear_algorithm_misses_planted_bit(self):
+        """Every bit=1 instance defeats the one-pass algorithm: the
+        heavy edge hides at the stream's start, inside every level
+        prefix — the event Lemma 2.3 charges for, made certain by the
+        reduction's conditioning."""
+        missed = 0
+        ones = 0
+        for seed in range(12):
+            reduction, instance = _build(seed, n=8, t=16, length=16, p=0.1)
+            if instance.answer != 1:
+                continue
+            ones += 1
+            outcome = run_index_protocol(
+                reduction,
+                lambda: TriangleRandomOrder(t_guess=16, epsilon=0.3, seed=3),
+                seed=seed,
+            )
+            missed += outcome.answered == 0
+        assert ones >= 2
+        assert missed >= ones - 1
+
+    def test_outcome_reports_communication(self):
+        reduction, _ = _build(1, n=8, t=16, length=16)
+        outcome = run_index_protocol(
+            reduction,
+            lambda: TriangleRandomOrder(t_guess=16, epsilon=0.3, seed=1),
+            seed=4,
+        )
+        assert outcome.communication_items > 0
+        assert outcome.answered in (0, 1)

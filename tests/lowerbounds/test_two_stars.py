@@ -1,0 +1,76 @@
+"""The Section 5.4 two-star construction and DISJ reduction."""
+
+import pytest
+
+from repro.core import FourCycleDistinguisher
+from repro.graphs import four_cycle_count, triangle_count
+from repro.lowerbounds import (
+    DisjointnessInstance,
+    build_two_stars,
+    solve_disjointness_with_distinguisher,
+)
+
+
+class TestConstruction:
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            build_two_stars(DisjointnessInstance(s1=[1], s2=[1]), k=1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cycle_count_formula(self, seed):
+        instance = DisjointnessInstance.random(20, seed=seed)
+        construction = build_two_stars(instance, k=6)
+        assert four_cycle_count(construction.graph) == construction.expected_four_cycles
+
+    def test_disjoint_strings_give_cycle_free_graph(self):
+        instance = DisjointnessInstance.random_with_answer(25, 0, seed=3)
+        construction = build_two_stars(instance, k=8)
+        assert four_cycle_count(construction.graph) == 0
+
+    def test_intersecting_strings_give_many_cycles(self):
+        instance = DisjointnessInstance.random_with_answer(25, 1, seed=3)
+        construction = build_two_stars(instance, k=8)
+        assert four_cycle_count(construction.graph) >= 8 * 7 // 2
+
+    def test_graph_is_triangle_free(self):
+        instance = DisjointnessInstance.random(20, seed=2)
+        construction = build_two_stars(instance, k=5)
+        assert triangle_count(construction.graph) == 0
+
+    def test_stream_edges_cover_graph(self):
+        instance = DisjointnessInstance.random(15, seed=4)
+        construction = build_two_stars(instance, k=4)
+        assert len(construction.stream_edges()) == construction.graph.num_edges
+
+
+class TestReduction:
+    def test_protocol_solves_disjointness(self):
+        correct = 0
+        trials = 10
+        for seed in range(trials):
+            answer = seed % 2
+            instance = DisjointnessInstance.random_with_answer(30, answer, seed=seed)
+            decided, _space = solve_disjointness_with_distinguisher(
+                instance,
+                k=12,
+                distinguisher_factory=lambda t: FourCycleDistinguisher(
+                    t_guess=t, c=3.0, seed=99
+                ),
+                seed=seed,
+            )
+            correct += decided == answer
+        assert correct >= trials - 2
+
+    def test_no_instances_never_fooled(self):
+        """One-sided: disjoint strings can never produce a YES."""
+        for seed in range(6):
+            instance = DisjointnessInstance.random_with_answer(30, 0, seed=seed)
+            decided, _ = solve_disjointness_with_distinguisher(
+                instance,
+                k=10,
+                distinguisher_factory=lambda t: FourCycleDistinguisher(
+                    t_guess=t, c=3.0, seed=seed
+                ),
+                seed=seed,
+            )
+            assert decided == 0

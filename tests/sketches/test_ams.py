@@ -1,0 +1,70 @@
+"""AMS F2 sketch: unbiasedness, accuracy, merging."""
+
+import pytest
+
+from repro.sketches import AmsF2Sketch
+
+
+def _feed(sketch, vector):
+    for key, value in vector.items():
+        sketch.update(key, value)
+
+
+class TestAmsF2Sketch:
+    def test_validates_layout(self):
+        with pytest.raises(ValueError):
+            AmsF2Sketch(groups=0)
+
+    def test_exact_on_single_coordinate(self):
+        sketch = AmsF2Sketch(groups=3, group_size=4, seed=1)
+        sketch.update("only", 7)
+        # single coordinate: Y_j = +-7 for every copy, so estimate is 49
+        assert sketch.estimate() == pytest.approx(49.0)
+
+    def test_mean_near_f2(self):
+        vector = {i: (i % 5) + 1 for i in range(40)}
+        f2 = sum(v * v for v in vector.values())
+        estimates = []
+        for seed in range(30):
+            sketch = AmsF2Sketch(groups=1, group_size=20, seed=seed)
+            _feed(sketch, vector)
+            estimates.append(sketch.estimate())
+        average = sum(estimates) / len(estimates)
+        assert abs(average - f2) / f2 < 0.25
+
+    def test_median_of_means_accuracy(self):
+        vector = {i: 3 for i in range(50)}
+        f2 = 9 * 50
+        sketch = AmsF2Sketch(groups=5, group_size=30, seed=3)
+        _feed(sketch, vector)
+        assert abs(sketch.estimate() - f2) / f2 < 0.4
+
+    def test_deletions_cancel(self):
+        sketch = AmsF2Sketch(groups=3, group_size=4, seed=5)
+        sketch.update("a", 5)
+        sketch.update("a", -5)
+        assert sketch.estimate() == pytest.approx(0.0)
+
+    def test_merge_equals_combined_stream(self):
+        left = AmsF2Sketch(groups=3, group_size=4, seed=7)
+        right = AmsF2Sketch(groups=3, group_size=4, seed=7)
+        combined = AmsF2Sketch(groups=3, group_size=4, seed=7)
+        for i in range(20):
+            left.update(i, 1)
+            combined.update(i, 1)
+        for i in range(10, 30):
+            right.update(i, 2)
+            combined.update(i, 2)
+        left.merge(right)
+        assert left.estimate() == pytest.approx(combined.estimate())
+
+    def test_merge_rejects_mismatched(self):
+        a = AmsF2Sketch(groups=2, group_size=2, seed=1)
+        b = AmsF2Sketch(groups=2, group_size=2, seed=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_space_items(self):
+        sketch = AmsF2Sketch(groups=4, group_size=6, seed=0)
+        assert sketch.space_items == 24
+        assert sketch.num_copies == 24

@@ -1,0 +1,64 @@
+"""CountSketch recovery accuracy and linearity."""
+
+import pytest
+
+from repro.sketches import CountSketch
+
+
+class TestCountSketch:
+    def test_validates_layout(self):
+        with pytest.raises(ValueError):
+            CountSketch(rows=0)
+
+    def test_recovers_isolated_heavy_coordinate(self):
+        sketch = CountSketch(rows=5, width=256, seed=1)
+        sketch.update("heavy", 100)
+        for i in range(50):
+            sketch.update(i, 1)
+        assert sketch.query("heavy") == pytest.approx(100, abs=10)
+
+    def test_absent_coordinate_near_zero(self):
+        sketch = CountSketch(rows=5, width=512, seed=2)
+        for i in range(100):
+            sketch.update(i, 1)
+        assert abs(sketch.query("missing")) <= 3
+
+    def test_exact_when_sparse(self):
+        sketch = CountSketch(rows=7, width=1024, seed=3)
+        values = {f"k{i}": i + 1 for i in range(10)}
+        for key, value in values.items():
+            sketch.update(key, value)
+        for key, value in values.items():
+            assert sketch.query(key) == pytest.approx(value, abs=1e-9)
+
+    def test_deletions(self):
+        sketch = CountSketch(rows=5, width=128, seed=4)
+        sketch.update("x", 10)
+        sketch.update("x", -4)
+        assert sketch.query("x") == pytest.approx(6, abs=3)
+
+    def test_incremental_updates_accumulate(self):
+        sketch = CountSketch(rows=5, width=512, seed=5)
+        for _ in range(20):
+            sketch.update("acc", 1)
+        assert sketch.query("acc") == pytest.approx(20, abs=3)
+
+    def test_merge(self):
+        a = CountSketch(rows=5, width=256, seed=6)
+        b = CountSketch(rows=5, width=256, seed=6)
+        a.update("x", 3)
+        b.update("x", 4)
+        a.merge(b)
+        assert a.query("x") == pytest.approx(7, abs=2)
+
+    def test_merge_rejects_mismatch(self):
+        a = CountSketch(rows=5, width=256, seed=6)
+        b = CountSketch(rows=5, width=256, seed=7)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        c = CountSketch(rows=4, width=256, seed=6)
+        with pytest.raises(ValueError):
+            a.merge(c)
+
+    def test_space_items(self):
+        assert CountSketch(rows=3, width=64, seed=0).space_items == 192

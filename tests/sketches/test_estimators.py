@@ -1,0 +1,83 @@
+"""Estimator combination utilities."""
+
+import pytest
+
+from repro.sketches import mean, median, median_of_means, relative_error, within_factor
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_even_averages_middle(self):
+        assert median([1, 2, 3, 10]) == 2.5
+
+    def test_single(self):
+        assert median([7]) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_does_not_mutate(self):
+        values = [3, 1, 2]
+        median(values)
+        assert values == [3, 1, 2]
+
+
+class TestMedianOfMeans:
+    def test_one_group_is_mean(self):
+        assert median_of_means([1, 2, 3, 4], groups=1) == 2.5
+
+    def test_groups_equal_len_is_median(self):
+        assert median_of_means([1, 100, 3], groups=3) == 3
+
+    def test_outlier_resistance(self):
+        # one wild group out of five cannot drag the median
+        values = [10.0] * 8 + [10e6, 10e6] + [10.0] * 10
+        assert median_of_means(values, groups=5) == 10.0
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            median_of_means([1, 2, 3], groups=2)
+
+    def test_validates_groups(self):
+        with pytest.raises(ValueError):
+            median_of_means([1], groups=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_of_means([], groups=1)
+
+
+class TestErrorHelpers:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+
+    def test_within_factor(self):
+        assert within_factor(50, 100, 2)
+        assert within_factor(200, 100, 2)
+        assert not within_factor(201, 100, 2)
+        assert not within_factor(49, 100, 2)
+
+    def test_within_factor_validates(self):
+        with pytest.raises(ValueError):
+            within_factor(1, 1, 0.5)
+
+    def test_within_factor_zeroes(self):
+        assert within_factor(0, 0, 3)
+        assert not within_factor(0, 5, 3)

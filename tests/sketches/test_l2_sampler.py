@@ -1,0 +1,85 @@
+"""l2 sampler: sampling distribution proportional to f_i^2."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sketches import L2Sampler, L2SamplerBank
+
+
+class TestL2Sampler:
+    def test_validates_accept_scale(self):
+        with pytest.raises(ValueError):
+            L2Sampler(accept_scale=1.0)
+
+    def test_value_estimate_accurate(self):
+        """On a sparse vector the returned value estimate is near-exact."""
+        vector = {"a": 10, "b": 3, "c": 1}
+        f2 = sum(v * v for v in vector.values())
+        recovered = {}
+        for seed in range(120):
+            sampler = L2Sampler(seed=seed, width=512, accept_scale=3.0)
+            for key, value in vector.items():
+                sampler.update(key, value)
+            drawn = sampler.sample(list(vector), f2)
+            if drawn is not None:
+                key, estimate = drawn
+                recovered.setdefault(key, []).append(estimate)
+        assert recovered, "no sampler succeeded in 120 copies"
+        for key, estimates in recovered.items():
+            for estimate in estimates:
+                assert abs(abs(estimate) - vector[key]) < 1.0
+
+    def test_distribution_proportional_to_squares(self):
+        """P[key sampled] tracks f_key^2 / F2."""
+        vector = {"big": 8, "mid": 4, "small": 2}
+        f2 = sum(v * v for v in vector.values())
+        counts = Counter()
+        successes = 0
+        for seed in range(600):
+            sampler = L2Sampler(seed=seed, width=256, accept_scale=4.0)
+            for key, value in vector.items():
+                sampler.update(key, value)
+            drawn = sampler.sample(list(vector), f2)
+            if drawn is not None:
+                counts[drawn[0]] += 1
+                successes += 1
+        assert successes > 30
+        # squares 64 : 16 : 4 -> big should dominate mid by roughly 4x
+        # (the argmax step skews slightly further toward the largest
+        # coordinate on tiny vectors, so the band is generous)
+        assert counts["big"] > counts["mid"] > counts["small"] >= 0
+        ratio = counts["big"] / max(1, counts["mid"])
+        assert 2.0 < ratio < 12.0
+
+    def test_no_updates_returns_none(self):
+        sampler = L2Sampler(seed=1)
+        assert sampler.sample(["a", "b"], 100.0) is None
+
+    def test_rejects_negative_f2(self):
+        sampler = L2Sampler(seed=1)
+        with pytest.raises(ValueError):
+            sampler.sample(["a"], -1.0)
+
+
+class TestL2SamplerBank:
+    def test_validates_count(self):
+        with pytest.raises(ValueError):
+            L2SamplerBank(count=0)
+
+    def test_bank_collects_multiple_samples(self):
+        vector = {i: 5 for i in range(20)}
+        f2 = sum(v * v for v in vector.values())
+        bank = L2SamplerBank(count=40, seed=3, accept_scale=4.0)
+        for key, value in vector.items():
+            bank.update(key, value)
+        samples = bank.samples(list(vector), f2)
+        assert len(samples) >= 3
+        for key, estimate in samples:
+            assert key in vector
+            assert abs(abs(estimate) - 5) < 2.0
+
+    def test_space_items(self):
+        bank = L2SamplerBank(count=3, rows=4, width=32, seed=0)
+        assert bank.space_items == 3 * 4 * 32
+        assert len(bank) == 3

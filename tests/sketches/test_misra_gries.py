@@ -1,0 +1,87 @@
+"""Misra–Gries summary guarantees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import MisraGries
+
+
+class TestMisraGries:
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=0)
+
+    def test_exact_when_under_capacity(self):
+        summary = MisraGries(k=10)
+        for item, count in (("a", 5), ("b", 3)):
+            for _ in range(count):
+                summary.update(item)
+        assert summary.estimate("a") == 5
+        assert summary.estimate("b") == 3
+        assert summary.estimate("zzz") == 0
+
+    def test_never_overestimates(self):
+        rng = random.Random(3)
+        stream = [rng.randrange(30) for _ in range(2000)]
+        summary = MisraGries(k=8)
+        for item in stream:
+            summary.update(item)
+        for item in range(30):
+            assert summary.estimate(item) <= stream.count(item)
+
+    def test_undercount_bounded(self):
+        rng = random.Random(5)
+        stream = [rng.randrange(30) for _ in range(2000)]
+        summary = MisraGries(k=8)
+        for item in stream:
+            summary.update(item)
+        for item in range(30):
+            true_count = stream.count(item)
+            assert summary.estimate(item) >= true_count - summary.error_bound
+
+    def test_heavy_hitter_recovered(self):
+        summary = MisraGries(k=4)
+        stream = ["hot"] * 500 + list(range(400))
+        random.Random(1).shuffle(stream)
+        for item in stream:
+            summary.update(item)
+        hitters = dict(summary.heavy_hitters(0.2))
+        assert "hot" in hitters
+
+    def test_heavy_hitters_validates(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=3).heavy_hitters(0.0)
+
+    def test_weighted_updates(self):
+        summary = MisraGries(k=3)
+        summary.update("x", count=100)
+        summary.update("y", count=1)
+        assert summary.estimate("x") == 100
+        assert summary.processed == 101
+
+    def test_update_validates_count(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=3).update("x", count=0)
+
+    def test_space_bounded_by_k(self):
+        summary = MisraGries(k=5)
+        for item in range(1000):
+            summary.update(item)
+        assert summary.space_items <= 5
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_guarantee_property(self, stream):
+        """count - n/(k+1) <= estimate <= count, for every item."""
+        summary = MisraGries(k=4)
+        for item in stream:
+            summary.update(item)
+        n = len(stream)
+        for item in set(stream):
+            true_count = stream.count(item)
+            estimate = summary.estimate(item)
+            assert estimate <= true_count
+            assert estimate >= true_count - n / 5.0

@@ -1,0 +1,73 @@
+"""Reservoir sampling: uniformity and eviction reporting."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sketches import ReservoirSampler, UniformItemSampler
+
+
+class TestReservoirSampler:
+    def test_fills_to_capacity(self):
+        reservoir = ReservoirSampler(capacity=5, seed=1)
+        for i in range(5):
+            assert reservoir.add(i) is None
+        assert sorted(reservoir.items) == [0, 1, 2, 3, 4]
+
+    def test_size_never_exceeds_capacity(self):
+        reservoir = ReservoirSampler(capacity=4, seed=2)
+        for i in range(100):
+            reservoir.add(i)
+        assert len(reservoir) == 4
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=0)
+
+    def test_eviction_reporting_consistent(self):
+        reservoir = ReservoirSampler(capacity=3, seed=3)
+        alive = set()
+        for i in range(50):
+            out = reservoir.add(i)
+            alive.add(i)
+            if out is not None:
+                alive.discard(out)
+            assert set(reservoir.items) == alive
+
+    def test_uniform_marginals(self):
+        """Every item ends up retained with probability capacity/n."""
+        counts = Counter()
+        trials, capacity, n = 800, 5, 25
+        for seed in range(trials):
+            reservoir = ReservoirSampler(capacity=capacity, seed=seed)
+            for i in range(n):
+                reservoir.add(i)
+            counts.update(reservoir.items)
+        expected = trials * capacity / n
+        for i in range(n):
+            assert expected * 0.6 < counts[i] < expected * 1.4
+
+    def test_contains_and_offered(self):
+        reservoir = ReservoirSampler(capacity=2, seed=5)
+        reservoir.add("a")
+        assert "a" in reservoir
+        assert reservoir.offered == 1
+
+
+class TestUniformItemSampler:
+    def test_holds_single_item(self):
+        sampler = UniformItemSampler(seed=1)
+        assert sampler.item is None
+        sampler.add("x")
+        assert sampler.item == "x"
+
+    def test_uniformity(self):
+        counts = Counter()
+        for seed in range(900):
+            sampler = UniformItemSampler(seed=seed)
+            for i in range(9):
+                sampler.add(i)
+            counts[sampler.item] += 1
+        expected = 900 / 9
+        for i in range(9):
+            assert expected * 0.6 < counts[i] < expected * 1.5

@@ -1,0 +1,106 @@
+"""The Section 4.2.2 wedge-F2 basic estimator.
+
+The factor-2 calibration (E[2 Z^2] == F2 over unordered pairs) was
+verified symbolically over all sign assignments during development;
+these tests re-verify it statistically and check both feeding modes
+agree.
+"""
+
+import pytest
+
+from repro.graphs import cycle_graph, erdos_renyi, star_graph, wedge_counts
+from repro.sketches import WedgeF2Estimator
+from repro.streams import AdjacencyListStream, ArbitraryOrderStream
+
+
+def _true_f2(graph):
+    return sum(v * v for v in wedge_counts(graph).values())
+
+
+def _feed_adjacency(estimator, graph, seed=0):
+    stream = AdjacencyListStream(graph, seed=seed)
+    for vertex, neighbors in stream.adjacency_lists():
+        estimator.process_adjacency_list(vertex, neighbors)
+
+
+def _feed_arbitrary(estimator, graph):
+    for u, v in graph.edges():
+        estimator.process_edge(u, v)
+
+
+class TestWedgeF2Estimator:
+    def test_validates_layout(self):
+        with pytest.raises(ValueError):
+            WedgeF2Estimator(groups=0)
+
+    def test_empty_graph_estimates_zero(self):
+        estimator = WedgeF2Estimator(groups=2, group_size=2, seed=0)
+        estimator.process_adjacency_list(0, [])
+        assert estimator.estimate() == 0.0
+
+    def test_unbiased_on_c4(self):
+        """E[2 Z^2] == 8 for the 4-cycle (F2 = two diagonals of x=2)."""
+        g = cycle_graph(4)
+        estimates = []
+        for seed in range(200):
+            estimator = WedgeF2Estimator(groups=1, group_size=1, seed=seed)
+            _feed_adjacency(estimator, g, seed=seed)
+            estimates.append(estimator.estimate())
+        average = sum(estimates) / len(estimates)
+        assert abs(average - 8.0) / 8.0 < 0.25
+
+    def test_accuracy_on_random_graph(self):
+        g = erdos_renyi(30, 0.3, seed=2)
+        f2 = _true_f2(g)
+        estimator = WedgeF2Estimator(groups=7, group_size=60, seed=1)
+        _feed_adjacency(estimator, g)
+        assert abs(estimator.estimate() - f2) / f2 < 0.35
+
+    def test_star_graph(self):
+        # star on h leaves: every leaf pair has x = 1 -> F2 = C(h, 2)
+        g = star_graph(8)
+        estimator = WedgeF2Estimator(groups=5, group_size=40, seed=3)
+        _feed_adjacency(estimator, g)
+        assert abs(estimator.estimate() - 28) / 28 < 0.5
+
+    def test_modes_agree(self):
+        """Adjacency and arbitrary-order modes compute the same Z."""
+        g = erdos_renyi(20, 0.4, seed=4)
+        adjacency = WedgeF2Estimator(groups=2, group_size=3, seed=9)
+        arbitrary = WedgeF2Estimator(groups=2, group_size=3, seed=9)
+        _feed_adjacency(adjacency, g)
+        _feed_arbitrary(arbitrary, g)
+        assert adjacency.estimate() == pytest.approx(arbitrary.estimate())
+
+    def test_deletion_cancels_insertion(self):
+        g = erdos_renyi(15, 0.4, seed=5)
+        with_churn = WedgeF2Estimator(groups=2, group_size=3, seed=11)
+        plain = WedgeF2Estimator(groups=2, group_size=3, seed=11)
+        _feed_arbitrary(plain, g)
+        # insert a spurious edge then delete it mid-stream
+        edges = list(g.edges())
+        half = len(edges) // 2
+        for u, v in edges[:half]:
+            with_churn.process_edge(u, v)
+        with_churn.process_edge(998, 999, delta=1)
+        with_churn.process_edge(998, 999, delta=-1)
+        for u, v in edges[half:]:
+            with_churn.process_edge(u, v)
+        assert with_churn.estimate() == pytest.approx(plain.estimate())
+
+    def test_mode_mixing_rejected(self):
+        estimator = WedgeF2Estimator(groups=2, group_size=2, seed=0)
+        estimator.process_adjacency_list(0, [1, 2])
+        with pytest.raises(RuntimeError):
+            estimator.process_edge(0, 1)
+        other = WedgeF2Estimator(groups=2, group_size=2, seed=0)
+        other.process_edge(0, 1)
+        with pytest.raises(RuntimeError):
+            other.process_adjacency_list(0, [1, 2])
+
+    def test_space_items_grow_in_arbitrary_mode(self):
+        estimator = WedgeF2Estimator(groups=2, group_size=2, seed=0)
+        base = estimator.space_items
+        estimator.process_edge(0, 1)
+        estimator.process_edge(1, 2)
+        assert estimator.space_items == base + 4 * 3 * 3  # 3 vertices x 3 counters x 4 copies

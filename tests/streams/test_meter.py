@@ -1,0 +1,72 @@
+"""SpaceMeter accounting semantics."""
+
+import pytest
+
+from repro.streams import SpaceMeter
+
+
+class TestSpaceMeter:
+    def test_starts_empty(self):
+        meter = SpaceMeter()
+        assert meter.current == 0
+        assert meter.peak == 0
+
+    def test_add_and_peak(self):
+        meter = SpaceMeter()
+        meter.add("edges", 5)
+        meter.add("edges", 3)
+        assert meter.current == 8
+        assert meter.peak == 8
+
+    def test_eviction_keeps_peak(self):
+        meter = SpaceMeter()
+        meter.add("edges", 10)
+        meter.add("edges", -7)
+        assert meter.current == 3
+        assert meter.peak == 10
+
+    def test_negative_current_rejected(self):
+        meter = SpaceMeter()
+        meter.add("edges", 2)
+        with pytest.raises(ValueError):
+            meter.add("edges", -3)
+
+    def test_set_absolute(self):
+        meter = SpaceMeter()
+        meter.set("counters", 40)
+        meter.set("counters", 10)
+        assert meter.current_of("counters") == 10
+        assert meter.peak_of("counters") == 40
+
+    def test_set_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().set("c", -1)
+
+    def test_peak_is_total_across_categories(self):
+        meter = SpaceMeter()
+        meter.add("a", 5)
+        meter.add("b", 5)
+        meter.add("a", -5)
+        meter.add("b", 5)
+        # timeline totals: 5, 10, 5, 10 -> peak 10
+        assert meter.peak == 10
+
+    def test_breakdown(self):
+        meter = SpaceMeter()
+        meter.add("a", 3)
+        meter.add("b", 2)
+        assert meter.breakdown() == {"a": 3, "b": 2}
+
+    def test_merge(self):
+        outer = SpaceMeter()
+        outer.add("a", 4)
+        inner = SpaceMeter()
+        inner.add("x", 6)
+        outer.merge(inner, prefix="sub_")
+        assert outer.peak == 10
+        assert outer.peak_of("sub_x") == 6
+
+    def test_default_add_is_one(self):
+        meter = SpaceMeter()
+        meter.add("a")
+        assert meter.current == 1

@@ -1,0 +1,139 @@
+"""Stream model semantics: orders, pass counting, adjacency grouping."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, erdos_renyi, normalize_edge
+from repro.streams import (
+    AdjacencyListStream,
+    ArbitraryOrderStream,
+    RandomOrderStream,
+)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(25, 0.3, seed=11)
+
+
+class TestArbitraryOrderStream:
+    def test_preserves_order(self):
+        edges = [(0, 1), (2, 3), (1, 2)]
+        stream = ArbitraryOrderStream(edges)
+        assert list(stream.edges()) == [(0, 1), (2, 3), (1, 2)]
+
+    def test_normalizes_edges(self):
+        stream = ArbitraryOrderStream([(3, 1)])
+        assert list(stream.edges()) == [(1, 3)]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ArbitraryOrderStream([(0, 1), (1, 0)])
+
+    def test_counts(self, graph):
+        stream = ArbitraryOrderStream.from_graph(graph)
+        assert stream.num_edges == graph.num_edges
+        assert stream.num_vertices == graph.num_vertices
+        assert stream.stream_length == graph.num_edges
+
+    def test_pass_counting(self, graph):
+        stream = ArbitraryOrderStream.from_graph(graph)
+        assert stream.passes_taken == 0
+        list(stream.edges())
+        list(stream.edges())
+        assert stream.passes_taken == 2
+
+    def test_materialize(self, graph):
+        stream = ArbitraryOrderStream.from_graph(graph)
+        assert stream.materialize() == sorted(graph.edges())
+
+
+class TestRandomOrderStream:
+    def test_is_permutation_of_edges(self, graph):
+        stream = RandomOrderStream(graph, seed=5)
+        assert sorted(stream.edges()) == sorted(graph.edges())
+
+    def test_passes_replay_same_permutation(self, graph):
+        stream = RandomOrderStream(graph, seed=5)
+        first = list(stream.edges())
+        second = list(stream.edges())
+        assert first == second
+        assert stream.passes_taken == 2
+
+    def test_seed_changes_order(self, graph):
+        a = list(RandomOrderStream(graph, seed=1).edges())
+        b = list(RandomOrderStream(graph, seed=2).edges())
+        assert a != b
+        assert sorted(a) == sorted(b)
+
+    def test_reshuffled_independent(self, graph):
+        stream = RandomOrderStream(graph, seed=1)
+        other = stream.reshuffled(seed=9)
+        assert sorted(other.edges()) == sorted(graph.edges())
+        assert list(other.edges()) != list(stream.edges())
+
+    def test_order_statistics_roughly_uniform(self):
+        """Each edge's probability of arriving first should be ~1/m."""
+        g = complete_graph(6)  # m = 15
+        firsts = Counter()
+        for seed in range(600):
+            stream = RandomOrderStream(g, seed=seed)
+            firsts[next(iter(stream.edges()))] += 1
+        expected = 600 / 15
+        assert all(expected / 3 < c < expected * 3 for c in firsts.values())
+        assert len(firsts) == 15
+
+
+class TestAdjacencyListStream:
+    def test_every_edge_twice(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        tokens = Counter(stream.edges())
+        assert all(count == 2 for count in tokens.values())
+        assert set(tokens) == set(graph.edges())
+        assert stream.stream_length == 2 * graph.num_edges
+
+    def test_blocks_are_complete_lists(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        for vertex, neighbors in stream.adjacency_lists():
+            assert set(neighbors) == graph.neighbors(vertex)
+            assert len(neighbors) == graph.degree(vertex)
+
+    def test_every_vertex_appears_once(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        vertices = [v for v, _ in stream.adjacency_lists()]
+        assert sorted(vertices, key=repr) == sorted(graph.vertices(), key=repr)
+
+    def test_explicit_vertex_order(self, graph):
+        order = sorted(graph.vertices())
+        stream = AdjacencyListStream(graph, vertex_order=order)
+        assert [v for v, _ in stream.adjacency_lists()] == order
+
+    def test_rejects_bad_vertex_order(self, graph):
+        with pytest.raises(ValueError):
+            AdjacencyListStream(graph, vertex_order=[1, 2, 3])
+
+    def test_passes_replay(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        first = list(stream.edges())
+        second = list(stream.edges())
+        assert first == second
+
+    def test_pass_count_includes_block_iteration(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        list(stream.adjacency_lists())
+        list(stream.edges())
+        assert stream.passes_taken == 2
+
+    def test_tokens_normalized(self, graph):
+        stream = AdjacencyListStream(graph, seed=4)
+        for u, v in stream.edges():
+            assert (u, v) == normalize_edge(u, v)
+
+    def test_isolated_vertices_emit_empty_blocks(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(9)
+        stream = AdjacencyListStream(g, seed=0)
+        blocks = dict(stream.adjacency_lists())
+        assert blocks[9] == []

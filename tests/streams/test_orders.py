@@ -1,0 +1,98 @@
+"""Adversarial orders: construction and their effect on algorithms."""
+
+import statistics
+
+import pytest
+
+from repro.core import FourCycleArbitraryThreePass, TriangleRandomOrder
+from repro.graphs import four_cycle_count, heavy_edge_graph, planted_diamonds, triangle_count
+from repro.streams import RandomOrderStream
+from repro.streams.orders import (
+    ORDER_FACTORIES,
+    heavy_edges_first,
+    heavy_edges_last,
+    sorted_order,
+    stream_with_order,
+    vertex_grouped_order,
+)
+
+
+@pytest.fixture(scope="module")
+def heavy_graph():
+    return heavy_edge_graph(900, heavy_triangles=250, light_triangles=80, seed=1)
+
+
+class TestOrderConstruction:
+    def test_all_orders_are_permutations(self, heavy_graph):
+        expected = sorted(heavy_graph.edges())
+        for name, factory in ORDER_FACTORIES.items():
+            stream = factory(heavy_graph, 0) if name != "sorted" else factory(heavy_graph)
+            assert sorted(stream.edges()) == expected, name
+
+    def test_heavy_first_puts_heavy_edge_early(self, heavy_graph):
+        stream = heavy_edges_first(heavy_graph, seed=1)
+        assert next(iter(stream.edges())) == (0, 1)  # the 250-triangle edge
+
+    def test_heavy_last_puts_heavy_edge_late(self, heavy_graph):
+        stream = heavy_edges_last(heavy_graph, seed=1)
+        assert list(stream.edges())[-1] == (0, 1)
+
+    def test_stream_with_order_validates(self, heavy_graph):
+        with pytest.raises(ValueError):
+            stream_with_order(heavy_graph, [(0, 1)])
+
+    def test_sorted_order(self, heavy_graph):
+        stream = sorted_order(heavy_graph)
+        edges = list(stream.edges())
+        assert edges == sorted(edges)
+
+    def test_vertex_grouped(self, heavy_graph):
+        stream = vertex_grouped_order(heavy_graph, seed=2)
+        assert sorted(stream.edges()) == sorted(heavy_graph.edges())
+
+
+class TestOrderSensitivity:
+    """The content of the random-order model: Theorem 2.1's accuracy
+    depends on the order; the arbitrary-order three-pass algorithm's
+    does not."""
+
+    def _triangle_median(self, stream_factory, truth, trials=5):
+        estimates = []
+        for seed in range(trials):
+            algorithm = TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=seed)
+            estimates.append(algorithm.run(stream_factory(seed)).estimate)
+        return statistics.median(estimates)
+
+    def test_random_order_algorithm_breaks_on_heavy_first(self, heavy_graph):
+        truth = triangle_count(heavy_graph)
+        random_est = self._triangle_median(
+            lambda seed: RandomOrderStream(heavy_graph, seed=100 + seed), truth
+        )
+        adversarial_est = self._triangle_median(
+            lambda seed: heavy_edges_first(heavy_graph, seed=seed), truth
+        )
+        assert abs(random_est - truth) / truth < 0.35
+        # heavy-first starves P: the heavy edge's ~250 triangles vanish
+        assert adversarial_est < 0.6 * truth
+
+    def test_heavy_last_is_friendly(self, heavy_graph):
+        truth = triangle_count(heavy_graph)
+        estimate = self._triangle_median(
+            lambda seed: heavy_edges_last(heavy_graph, seed=seed), truth
+        )
+        assert abs(estimate - truth) / truth < 0.35
+
+    def test_threepass_is_order_insensitive(self):
+        graph = planted_diamonds(900, [8] * 10, extra_edges=300, seed=3)
+        truth = four_cycle_count(graph)
+        estimates = []
+        for name, factory in ORDER_FACTORIES.items():
+            stream = factory(graph, 1) if name != "sorted" else factory(graph)
+            result = FourCycleArbitraryThreePass(
+                t_guess=truth, epsilon=0.3, seed=5
+            ).run(stream)
+            estimates.append(result.estimate)
+        # same hash seeds, any order: identical sample sets, and the
+        # pass-2/3 logic is order-free => identical estimates
+        assert len(set(estimates)) == 1
+        assert abs(estimates[0] - truth) / truth < 0.3

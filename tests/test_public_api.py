@@ -1,0 +1,96 @@
+"""Public-API hygiene: exports resolve, carry docstrings, and the
+package surface matches what the docs promise."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.api",
+    "repro.graphs",
+    "repro.streams",
+    "repro.sketches",
+    "repro.core",
+    "repro.baselines",
+    "repro.lowerbounds",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_have_docstrings(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+def test_module_docstrings():
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_algorithms_share_run_contract():
+    """Every algorithm exposes `name` and `run`, as the docs state."""
+    from repro import baselines, core
+
+    algorithm_classes = [
+        core.TriangleRandomOrder,
+        core.FourCycleAdjacencyDiamond,
+        core.FourCycleMoment,
+        core.FourCycleL2Sampling,
+        core.FourCycleArbitraryThreePass,
+        core.FourCycleArbitraryOnePass,
+        core.FourCycleDistinguisher,
+        baselines.CormodeJowhariTriangles,
+        baselines.TwoPassTriangles,
+        baselines.BeraChakrabartiFourCycles,
+        baselines.WedgePairSamplingFourCycles,
+        baselines.TriestBase,
+        baselines.TriestImpr,
+        baselines.EdgeSamplingTriangles,
+        baselines.EdgeSamplingFourCycles,
+        baselines.ExactTriangleStream,
+        baselines.ExactFourCycleStream,
+    ]
+    names = set()
+    for cls in algorithm_classes:
+        assert hasattr(cls, "run")
+        assert isinstance(cls.name, str) and cls.name
+        names.add(cls.name)
+    assert len(names) == len(algorithm_classes), "algorithm names must be unique"
+
+
+def test_workload_registry_matches_docs():
+    from repro.experiments import ALL_WORKLOADS
+
+    for expected in (
+        "light-triangles",
+        "heavy-and-light-triangles",
+        "diamond-mixture",
+        "sparse-four-cycles",
+        "dense-gnp",
+        "four-cycle-free",
+    ):
+        assert expected in ALL_WORKLOADS
