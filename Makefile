@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test bench bench-tables examples all
+.PHONY: install test bench bench-smoke bench-tables examples all
 
 install:
 	pip install -e '.[test]' --no-build-isolation || \
@@ -11,6 +11,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick sanity pass of the perf-engine benchmark: small sizes, relaxed
+# speedup floor, no pytest-benchmark storage, baseline left untouched.
+bench-smoke:
+	REPRO_BENCH_QUICK=1 pytest benchmarks/bench_perf_engine.py -s --benchmark-disable
 
 bench-tables:
 	pytest benchmarks/ -s --benchmark-disable

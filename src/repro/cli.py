@@ -49,6 +49,11 @@ EXPERIMENT_INDEX = [
 ]
 
 
+def _estimate_with_seed(estimate_one, seed: int):
+    """Module-level trial worker (picklable for ``--jobs`` fan-out)."""
+    return estimate_one(seed=seed)
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [{"name": name} for name in sorted(ALL_WORKLOADS)]
     print(format_records(rows))
@@ -78,23 +83,28 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    import functools
+
+    from .experiments.parallel import parallel_map
+
     graph, _report = read_edge_list(args.path)
-    estimates: List[float] = []
-    spaces: List[int] = []
-    passes = 0
-    for trial in range(args.trials):
-        result = api.estimate(
-            graph,
-            problem=args.problem,
-            model=args.model,
-            t_guess=args.t_guess,
-            epsilon=args.epsilon,
-            seed=args.seed + trial,
-            boost_copies=args.boost,
-        )
-        estimates.append(result.estimate)
-        spaces.append(result.space_items)
-        passes = result.passes
+    estimate_one = functools.partial(
+        api.estimate,
+        graph,
+        problem=args.problem,
+        model=args.model,
+        t_guess=args.t_guess,
+        epsilon=args.epsilon,
+        boost_copies=args.boost,
+    )
+    results = parallel_map(
+        functools.partial(_estimate_with_seed, estimate_one),
+        [args.seed + trial for trial in range(args.trials)],
+        n_jobs=args.jobs,
+    )
+    estimates: List[float] = [result.estimate for result in results]
+    spaces: List[int] = [result.space_items for result in results]
+    passes = results[-1].passes if results else 0
     rows = [
         {
             "problem": args.problem,
@@ -149,7 +159,7 @@ def _cmd_paper_table(args: argparse.Namespace) -> int:
 def _cmd_run_experiment(args: argparse.Namespace) -> int:
     from .experiments.suite import SUITE, run_experiment
 
-    records = run_experiment(args.id, seed=args.seed)
+    records = run_experiment(args.id, seed=args.seed, n_jobs=args.jobs)
     experiment = SUITE[args.id.upper()]
     print(experiment.title)
     print(format_records(records))
@@ -197,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute the exact count and report the error",
     )
+    estimate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent trials (-1 = all cores)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     sub.add_parser("experiments", help="print the experiment index").set_defaults(
@@ -215,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_exp.add_argument("id", help="experiment id, e.g. E9")
     run_exp.add_argument("--seed", type=int, default=0)
+    run_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent trials (-1 = all cores)",
+    )
     run_exp.set_defaults(func=_cmd_run_experiment)
     return parser
 

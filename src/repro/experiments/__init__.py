@@ -3,7 +3,17 @@
 from .calibration import GuessOutcome, estimate_with_guesses
 from .export import export_csv, export_json, load_json
 from .frontier import Frontier, FrontierPoint, dominates, measure_frontier
+from .groundtruth import cache_info, cached_ground_truth, clear_cache
 from .paper_table import paper_table
+from .parallel import (
+    ParallelTrialRunner,
+    SeededFactory,
+    TrialSpec,
+    execute_trial,
+    make_factory,
+    parallel_map,
+    seed_schedule,
+)
 from .reporting import format_records, format_table, print_experiment
 from .runner import TrialStats, decision_rate, run_trials
 from .suite import SUITE, Experiment, run_experiment
@@ -23,6 +33,16 @@ __all__ = [
     "ALL_WORKLOADS",
     "TrialStats",
     "run_trials",
+    "ParallelTrialRunner",
+    "SeededFactory",
+    "TrialSpec",
+    "execute_trial",
+    "make_factory",
+    "parallel_map",
+    "seed_schedule",
+    "cached_ground_truth",
+    "cache_info",
+    "clear_cache",
     "SUITE",
     "Experiment",
     "run_experiment",

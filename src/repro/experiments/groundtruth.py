@@ -1,0 +1,81 @@
+"""Memoized ground-truth counts for workload graphs.
+
+Sweeps rebuild the same (generator, params, seed) workload dozens of
+times — every sweep point, every benchmark file, every light
+experiment — and each rebuild used to recompute exact triangle /
+four-cycle counts from scratch, which dominates wall-clock for the
+pure-Python counters.  This module provides a small process-wide LRU
+keyed by the workload's full provenance, backed by the fastest exact
+backend (:func:`repro.graphs.fast_counts_auto`).
+
+The cache is correct because a workload's graph is a deterministic
+function of ``(generator name, params, seed)`` — the key includes every
+input that influences the graph.  Mutating a workload's graph after
+construction would invalidate the entry; workloads are treated as
+immutable throughout the repo.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+from ..graphs import Graph
+from ..graphs.fast import fast_counts_auto
+
+MAX_ENTRIES = 256
+
+_CACHE: "OrderedDict[Hashable, Dict[str, int]]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+def freeze_params(value: Any) -> Hashable:
+    """Recursively convert params into a hashable cache-key component."""
+    if isinstance(value, dict):
+        return tuple(
+            (key, freeze_params(value[key])) for key in sorted(value, key=repr)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_params(item) for item in value)
+    if isinstance(value, set):
+        return tuple(sorted((freeze_params(item) for item in value), key=repr))
+    return value
+
+
+def cached_ground_truth(
+    generator: str, params: Dict[str, Any], graph: Graph
+) -> Dict[str, int]:
+    """Exact ``{"triangles", "four_cycles", "wedge_f2"}`` for ``graph``.
+
+    ``generator`` and ``params`` must fully determine ``graph`` (the
+    workload registry guarantees this: all randomness flows through the
+    ``seed`` param).  On a hit the counts come straight from the LRU; on
+    a miss they are computed once with the fastest exact backend.
+    """
+    global _HITS, _MISSES
+    key: Tuple[str, Hashable] = (generator, freeze_params(params))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _HITS += 1
+        _CACHE.move_to_end(key)
+        return dict(cached)
+    _MISSES += 1
+    counts = fast_counts_auto(graph)
+    _CACHE[key] = counts
+    while len(_CACHE) > MAX_ENTRIES:
+        _CACHE.popitem(last=False)
+    return dict(counts)
+
+
+def cache_info() -> Dict[str, int]:
+    """Diagnostics: hits, misses, and live entries."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop every cached count (and reset the hit/miss counters)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

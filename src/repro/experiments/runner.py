@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List
 from ..core.result import EstimateResult
 from ..sketches.estimators import median
 from ..streams.models import StreamSource
+from .parallel import ParallelTrialRunner
 
 AlgorithmFactory = Callable[[int], Any]  # seed -> algorithm with .run()
 StreamFactory = Callable[[int], StreamSource]  # seed -> fresh stream
@@ -88,32 +89,40 @@ def run_trials(
     truth: float,
     trials: int = 9,
     base_seed: int = 0,
+    n_jobs: int = 1,
 ) -> TrialStats:
     """Run ``trials`` independent (algorithm, stream) pairs.
 
     Trial ``i`` uses algorithm seed ``base_seed * 1000 + i`` and stream
     seed ``base_seed * 1000 + 500 + i`` so neither is shared across
     trials or between the two sources of randomness.
+
+    ``n_jobs`` fans the trials across a process pool (``-1``/``0``/
+    ``None`` = all cores).  Every trial is a pure function of its seeds,
+    so the stats are bit-identical for any ``n_jobs``; non-picklable
+    factories (lambdas) degrade to in-process execution with a warning.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
-    estimates: List[float] = []
-    spaces: List[int] = []
-    results: List[EstimateResult] = []
-    passes = 0
-    for i in range(trials):
-        algorithm = algorithm_factory(base_seed * 1000 + i)
-        stream = stream_factory(base_seed * 1000 + 500 + i)
-        result = algorithm.run(stream)
-        estimates.append(result.estimate)
-        spaces.append(result.space_items)
-        results.append(result)
-        passes = result.passes
+    runner = ParallelTrialRunner(n_jobs=n_jobs)
+    results: List[EstimateResult] = runner.run(
+        algorithm_factory, stream_factory, trials=trials, base_seed=base_seed
+    )
+    estimates = [result.estimate for result in results]
+    spaces = [result.space_items for result in results]
+    pass_counts = {result.passes for result in results}
+    if len(pass_counts) != 1:
+        raise RuntimeError(
+            "trials disagree on the number of stream passes "
+            f"({sorted(pass_counts)}); every trial of one algorithm must "
+            "use the same pass budget — this indicates a seed-dependent "
+            "control-flow bug in the algorithm under test"
+        )
     return TrialStats(
         truth=truth,
         estimates=estimates,
         space_items=spaces,
-        passes=passes,
+        passes=pass_counts.pop(),
         results=results,
     )
 

@@ -28,11 +28,12 @@ from ..lowerbounds import (
     solve_disjointness_with_distinguisher,
 )
 from ..streams import AdjacencyListStream, RandomOrderStream
+from .parallel import make_factory
 from .runner import run_trials
 from .workloads import build_workload
 
 Record = Dict[str, Any]
-ExperimentRunner = Callable[[int], List[Record]]
+ExperimentRunner = Callable[..., List[Record]]  # (seed, *, n_jobs) -> records
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,7 @@ class Experiment:
     run: ExperimentRunner
 
 
-def _e1_light(seed: int) -> List[Record]:
+def _e1_light(seed: int, n_jobs: int = 1) -> List[Record]:
     workload = build_workload(
         "heavy-and-light-triangles", n=900, heavy_triangles=200, light_triangles_count=80
     )
@@ -53,19 +54,22 @@ def _e1_light(seed: int) -> List[Record]:
     for name, factory in (
         (
             "mv-triangle-ro (Thm 2.1)",
-            lambda s: TriangleRandomOrder(t_guess=truth, epsilon=0.3, seed=s),
+            make_factory(TriangleRandomOrder, t_guess=truth, epsilon=0.3),
         ),
         (
             "cormode-jowhari",
-            lambda s: CormodeJowhariTriangles(t_guess=truth, epsilon=0.3),
+            make_factory(
+                CormodeJowhariTriangles, seed_param=None, t_guess=truth, epsilon=0.3
+            ),
         ),
     ):
         stats = run_trials(
             factory,
-            lambda s: RandomOrderStream(workload.graph, seed=s),
+            make_factory(RandomOrderStream, graph=workload.graph),
             truth=truth,
             trials=5,
             base_seed=seed,
+            n_jobs=n_jobs,
         )
         rows.append(
             {
@@ -78,7 +82,7 @@ def _e1_light(seed: int) -> List[Record]:
     return rows
 
 
-def _e4_light(seed: int) -> List[Record]:
+def _e4_light(seed: int, n_jobs: int = 1) -> List[Record]:
     import random
 
     from ..graphs import erdos_renyi
@@ -109,7 +113,7 @@ def _e4_light(seed: int) -> List[Record]:
     return rows
 
 
-def _e5_light(seed: int) -> List[Record]:
+def _e5_light(seed: int, n_jobs: int = 1) -> List[Record]:
     workload = build_workload(
         "diamond-mixture",
         n=900,
@@ -120,11 +124,12 @@ def _e5_light(seed: int) -> List[Record]:
     )
     truth = workload.four_cycles
     stats = run_trials(
-        lambda s: FourCycleAdjacencyDiamond(t_guess=truth, epsilon=0.3, seed=s),
-        lambda s: AdjacencyListStream(workload.graph, seed=s),
+        make_factory(FourCycleAdjacencyDiamond, t_guess=truth, epsilon=0.3),
+        make_factory(AdjacencyListStream, graph=workload.graph),
         truth=truth,
         trials=3,
         base_seed=seed,
+        n_jobs=n_jobs,
     )
     return [
         {
@@ -137,19 +142,25 @@ def _e5_light(seed: int) -> List[Record]:
     ]
 
 
-def _e8_light(seed: int) -> List[Record]:
+def _e8_light(seed: int, n_jobs: int = 1) -> List[Record]:
     workload = build_workload(
         "medium-diamonds", n=2000, diamond_size=10, count=40, noise_edges=400
     )
     truth = workload.four_cycles
     stats = run_trials(
-        lambda s: FourCycleArbitraryThreePass(
-            t_guess=truth, epsilon=0.3, eta=2.0, c=0.6, use_log_factor=False, seed=s
+        make_factory(
+            FourCycleArbitraryThreePass,
+            t_guess=truth,
+            epsilon=0.3,
+            eta=2.0,
+            c=0.6,
+            use_log_factor=False,
         ),
-        lambda s: RandomOrderStream(workload.graph, seed=s),
+        make_factory(RandomOrderStream, graph=workload.graph),
         truth=truth,
         trials=3,
         base_seed=seed,
+        n_jobs=n_jobs,
     )
     return [
         {
@@ -162,7 +173,7 @@ def _e8_light(seed: int) -> List[Record]:
     ]
 
 
-def _e9_light(seed: int) -> List[Record]:
+def _e9_light(seed: int, n_jobs: int = 1) -> List[Record]:
     yes = build_workload("sparse-four-cycles", n=1000, num_cycles=150, noise_edges=200)
     no = build_workload("four-cycle-free", n_triangles=300)
     rows = []
@@ -180,7 +191,7 @@ def _e9_light(seed: int) -> List[Record]:
     return rows
 
 
-def _e11_light(seed: int) -> List[Record]:
+def _e11_light(seed: int, n_jobs: int = 1) -> List[Record]:
     rows = []
     for answer in (0, 1):
         instance = DisjointnessInstance.random_with_answer(20, answer, seed=seed)
@@ -204,7 +215,7 @@ def _e11_light(seed: int) -> List[Record]:
     return rows
 
 
-def _e12_light(seed: int) -> List[Record]:
+def _e12_light(seed: int, n_jobs: int = 1) -> List[Record]:
     workload = build_workload(
         "diamond-mixture",
         n=700,
@@ -242,8 +253,15 @@ SUITE: Dict[str, Experiment] = {
 }
 
 
-def run_experiment(experiment_id: str, seed: int = 0) -> List[Record]:
-    """Run one light experiment and return its record table."""
+def run_experiment(
+    experiment_id: str, seed: int = 0, n_jobs: int = 1
+) -> List[Record]:
+    """Run one light experiment and return its record table.
+
+    ``n_jobs`` fans each experiment's Monte Carlo trials across a
+    process pool; results are identical for any value (see
+    :mod:`repro.experiments.parallel`).
+    """
     key = experiment_id.upper()
     if key not in SUITE:
         available = ", ".join(sorted(SUITE))
@@ -251,4 +269,4 @@ def run_experiment(experiment_id: str, seed: int = 0) -> List[Record]:
             f"no light experiment {experiment_id!r}; available: {available} "
             "(the full set lives in benchmarks/)"
         )
-    return SUITE[key].run(seed)
+    return SUITE[key].run(seed, n_jobs=n_jobs)

@@ -45,9 +45,22 @@ def run_sweep(
     parameter_name: str,
     values: Sequence[float],
     measure: Callable[[float], Dict[str, float]],
+    n_jobs: int = 1,
 ) -> SweepResult:
-    """Evaluate ``measure`` at each parameter value."""
-    points = [SweepPoint(parameter=v, outputs=measure(v)) for v in values]
+    """Evaluate ``measure`` at each parameter value.
+
+    Sweep points are independent, so ``n_jobs > 1`` fans them across a
+    process pool when ``measure`` is picklable (a module-level function
+    or :class:`~repro.experiments.parallel.SeededFactory`-style
+    callable); the point order in the result is always the input order.
+    """
+    from .parallel import parallel_map
+
+    outputs = parallel_map(measure, list(values), n_jobs=n_jobs)
+    points = [
+        SweepPoint(parameter=value, outputs=output)
+        for value, output in zip(values, outputs)
+    ]
     return SweepResult(parameter_name=parameter_name, points=points)
 
 

@@ -23,16 +23,64 @@ All generators are deterministic given ``seed``.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Callable, List, Sequence
+
+import numpy as np
 
 from .graph import Graph
+
+
+def _generator_rng(seed: int) -> "np.random.Generator":
+    """The deterministic numpy RNG every vectorized generator draws from."""
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def _row_blocked_bernoulli(
+    n: int,
+    rng: "np.random.Generator",
+    row_probs: Callable[[int], "np.ndarray"],
+    graph: Graph,
+    offset: int = 0,
+) -> None:
+    """Add edges ``{u, v}`` (u < v) keeping one vectorized draw per row.
+
+    For each ``u`` the probabilities for the pairs ``(u, u+1..n-1)`` come
+    from ``row_probs(u)`` and are compared against one uniform block —
+    O(n) numpy calls total instead of the old O(n^2) scalar loop.
+    ``offset`` shifts vertex labels (for bipartite right-hand sides).
+    """
+    for u in range(n - 1):
+        draws = rng.random(n - u - 1)
+        hits = np.nonzero(draws < row_probs(u))[0]
+        for v in hits:
+            graph.add_edge(offset + u, offset + u + 1 + int(v))
 
 
 # ----------------------------------------------------------------------
 # classical random graphs
 # ----------------------------------------------------------------------
 def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
-    """G(n, p): each of the C(n, 2) edges present independently w.p. ``p``."""
+    """G(n, p): each of the C(n, 2) edges present independently w.p. ``p``.
+
+    Vectorized: one Bernoulli block per row of the upper triangle (see
+    :func:`_row_blocked_bernoulli`); deterministic given ``seed`` but
+    drawing a different (equally distributed) instance than the legacy
+    scalar-loop generator :func:`erdos_renyi_loop`.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    rng = _generator_rng(seed)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    probs = np.float64(p)
+    _row_blocked_bernoulli(n, rng, lambda u: probs, graph)
+    return graph
+
+
+def erdos_renyi_loop(n: int, p: float, seed: int = 0) -> Graph:
+    """Legacy scalar-loop G(n, p) — kept as the distribution reference
+    for the vectorized generator's equivalence tests and benchmarks."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
     rng = random.Random(seed)
@@ -47,7 +95,42 @@ def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
 
 
 def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
-    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random.
+
+    Vectorized rejection sampling: draw endpoint pairs in batches,
+    canonicalize, and keep the first ``m`` distinct pairs in draw order
+    — the same "sample until m distinct" process as the legacy loop, so
+    the edge set is a uniform ``m``-subset.
+    """
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
+    rng = _generator_rng(seed)
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v)
+    if m == 0:
+        return graph
+    codes = np.empty(0, dtype=np.int64)
+    distinct = 0
+    while distinct < m:
+        batch = max(16, 2 * (m - distinct))
+        us = rng.integers(0, n, size=batch)
+        vs = rng.integers(0, n, size=batch)
+        keep = us != vs
+        lo = np.minimum(us[keep], vs[keep])
+        hi = np.maximum(us[keep], vs[keep])
+        codes = np.concatenate([codes, lo * n + hi])
+        distinct = np.unique(codes).size
+    _, first_index = np.unique(codes, return_index=True)
+    chosen = codes[np.sort(first_index)[:m]]
+    for code in chosen:
+        graph.add_edge(int(code) // n, int(code) % n)
+    return graph
+
+
+def gnm_random_graph_loop(n: int, m: int, seed: int = 0) -> Graph:
+    """Legacy scalar-loop G(n, m) — distribution reference for tests."""
     max_edges = n * (n - 1) // 2
     if m > max_edges:
         raise ValueError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
@@ -98,6 +181,30 @@ def chung_lu(weights: Sequence[float], seed: int = 0) -> Graph:
     The standard model for prescribed (e.g. power-law) degree
     sequences; used by the ``power-law`` workload family.
     """
+    if len(weights) == 0:
+        raise ValueError("need at least one weight")
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    if np.any(weight_arr < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weight_arr.sum())
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    rng = _generator_rng(seed)
+    graph = Graph()
+    n = len(weights)
+    for v in range(n):
+        graph.add_vertex(v)
+    _row_blocked_bernoulli(
+        n,
+        rng,
+        lambda u: np.minimum(1.0, weight_arr[u] * weight_arr[u + 1 :] / total),
+        graph,
+    )
+    return graph
+
+
+def chung_lu_loop(weights: Sequence[float], seed: int = 0) -> Graph:
+    """Legacy scalar-loop Chung–Lu — distribution reference for tests."""
     if not weights:
         raise ValueError("need at least one weight")
     if any(w < 0 for w in weights):
@@ -177,7 +284,23 @@ def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
     """Random bipartite graph (triangle-free by construction).
 
     Left vertices are ``0..a-1``; right vertices are ``a..a+b-1``.
+    Vectorized: one Bernoulli block per left vertex.
     """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    rng = _generator_rng(seed)
+    graph = Graph()
+    for v in range(a + b):
+        graph.add_vertex(v)
+    for u in range(a):
+        hits = np.nonzero(rng.random(b) < p)[0]
+        for v in hits:
+            graph.add_edge(u, a + int(v))
+    return graph
+
+
+def random_bipartite_loop(a: int, b: int, p: float, seed: int = 0) -> Graph:
+    """Legacy scalar-loop random bipartite — distribution reference."""
     rng = random.Random(seed)
     graph = Graph()
     for v in range(a + b):

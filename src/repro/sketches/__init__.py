@@ -9,7 +9,13 @@ from .estimators import (
     relative_error,
     within_factor,
 )
-from .hashing import MERSENNE_PRIME, KWiseHash, hash_family, stable_key
+from .hashing import (
+    MERSENNE_PRIME,
+    KWiseHash,
+    hash_family,
+    stable_key,
+    stable_key_array,
+)
 from .l2_sampler import L2Sampler, L2SamplerBank
 from .misra_gries import MisraGries
 from .reservoir import ReservoirSampler, UniformItemSampler
@@ -20,6 +26,7 @@ __all__ = [
     "KWiseHash",
     "hash_family",
     "stable_key",
+    "stable_key_array",
     "AmsF2Sketch",
     "CountSketch",
     "L2Sampler",

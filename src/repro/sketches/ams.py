@@ -12,10 +12,12 @@ Used by the l2-sampling four-cycle algorithm (Theorem 4.3b) to estimate
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
 
 from .estimators import median_of_means
-from .hashing import KWiseHash, hash_family
+from .hashing import KWiseHash, hash_family, stable_key_array
 
 
 class AmsF2Sketch:
@@ -28,7 +30,7 @@ class AmsF2Sketch:
         self.group_size = group_size
         count = groups * group_size
         self._signs: List[KWiseHash] = hash_family(count, k=4, seed=seed)
-        self._accumulators: List[float] = [0.0] * count
+        self._accumulators = np.zeros(count, dtype=np.float64)
 
     @property
     def num_copies(self) -> int:
@@ -39,9 +41,39 @@ class AmsF2Sketch:
         for j, sign_hash in enumerate(self._signs):
             self._accumulators[j] += delta * sign_hash.sign(key)
 
+    def update_batch(
+        self,
+        keys: Sequence[Hashable],
+        deltas: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Apply ``f[keys[i]] += deltas[i]`` for the whole batch at once.
+
+        Each copy's accumulator gains ``sum_i deltas[i] * s_j(keys[i])``,
+        computed with the vectorized sign kernel — the same arithmetic
+        as a scalar :meth:`update` loop (exactly so for integer-valued
+        updates; up to float summation order in general).
+        """
+        stable = stable_key_array(
+            keys if isinstance(keys, np.ndarray) else list(keys)
+        )
+        if stable.size == 0:
+            return
+        if deltas is None:
+            delta_arr = np.ones(stable.size, dtype=np.float64)
+        else:
+            delta_arr = np.asarray(deltas, dtype=np.float64)
+            if delta_arr.shape != (stable.size,):
+                raise ValueError(
+                    f"deltas shape {delta_arr.shape} does not match "
+                    f"{stable.size} keys"
+                )
+        for j, sign_hash in enumerate(self._signs):
+            signs = sign_hash.signs_array(stable).astype(np.float64)
+            self._accumulators[j] += float(np.dot(delta_arr, signs))
+
     def estimate(self) -> float:
         """The current F2 estimate (median of group means of squares)."""
-        squares = [y * y for y in self._accumulators]
+        squares = [float(y) * float(y) for y in self._accumulators]
         return median_of_means(squares, groups=self.groups)
 
     def merge(self, other: "AmsF2Sketch") -> None:
@@ -56,8 +88,7 @@ class AmsF2Sketch:
             or any(a.seed != b.seed for a, b in zip(self._signs, other._signs))
         ):
             raise ValueError("can only merge sketches with identical layout and seeds")
-        for j in range(len(self._accumulators)):
-            self._accumulators[j] += other._accumulators[j]
+        self._accumulators += other._accumulators
 
     @property
     def space_items(self) -> int:

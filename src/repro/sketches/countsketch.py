@@ -7,29 +7,61 @@ single coordinate is ``O(sqrt(F2 / width))`` with high probability.
 
 This is the workhorse inside the l2 sampler (Section 4.2.4) and is
 independently useful, so it lives in the substrate.
+
+The table is a numpy array and updates come in two flavors: the scalar
+:meth:`update` (one key at a time, memoized hash locations) and the
+batched :meth:`update_batch` (vectorized hashing + ``np.add.at``
+scatter), which applies the exact same arithmetic and is
+property-tested equal to a scalar update sequence.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
 
 from .estimators import median
-from .hashing import KWiseHash, hash_family
+from .hashing import KWiseHash, hash_family, stable_key_array
 
 
 class CountSketch:
-    """A ``rows x width`` CountSketch table."""
+    """A ``rows x width`` CountSketch table.
 
-    def __init__(self, rows: int = 5, width: int = 256, seed: int = 0) -> None:
+    Args:
+        rows: number of independent hash rows (median over these).
+        width: buckets per row.
+        seed: derives every hash function deterministically.
+        max_cache_entries: cap on the per-key (bucket, sign) memo.  The
+            memo is real memory, so it is bounded and charged to
+            :attr:`space_items`; past the cap, new keys are hashed on
+            the fly without being memoized.
+    """
+
+    DEFAULT_MAX_CACHE_ENTRIES = 4096
+
+    def __init__(
+        self,
+        rows: int = 5,
+        width: int = 256,
+        seed: int = 0,
+        max_cache_entries: Optional[int] = None,
+    ) -> None:
         if rows < 1 or width < 1:
             raise ValueError("rows and width must be positive")
+        if max_cache_entries is None:
+            max_cache_entries = self.DEFAULT_MAX_CACHE_ENTRIES
+        if max_cache_entries < 0:
+            raise ValueError("max_cache_entries cannot be negative")
         self.rows = rows
         self.width = width
+        self.max_cache_entries = max_cache_entries
         self._buckets: List[KWiseHash] = hash_family(rows, k=2, seed=seed * 2 + 1)
         self._signs: List[KWiseHash] = hash_family(rows, k=4, seed=seed * 2 + 2)
-        self._table: List[List[float]] = [[0.0] * width for _ in range(rows)]
+        self._table = np.zeros((rows, width), dtype=np.float64)
         # per-key (bucket, sign) rows, memoized: streams hit the same
-        # coordinate many times (e.g. one wedge-vector entry per wedge)
+        # coordinate many times (e.g. one wedge-vector entry per wedge).
+        # Bounded by ``max_cache_entries`` and charged to space_items.
         self._key_cache: dict = {}
 
     def _locate(self, key: Hashable):
@@ -39,18 +71,50 @@ class CountSketch:
                 (self._buckets[r].bucket(key, self.width), self._signs[r].sign(key))
                 for r in range(self.rows)
             ]
-            self._key_cache[key] = cached
+            if len(self._key_cache) < self.max_cache_entries:
+                self._key_cache[key] = cached
         return cached
 
     def update(self, key: Hashable, delta: float = 1.0) -> None:
         """Apply ``f[key] += delta``."""
         for r, (bucket, sign) in enumerate(self._locate(key)):
-            self._table[r][bucket] += delta * sign
+            self._table[r, bucket] += delta * sign
+
+    def update_batch(
+        self,
+        keys: Sequence[Hashable],
+        deltas: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Apply ``f[keys[i]] += deltas[i]`` for the whole batch at once.
+
+        Equivalent to a loop of scalar :meth:`update` calls (exactly so
+        for integer-valued deltas; up to float summation order in
+        general), but hashes the batch with the vectorized polynomial
+        kernels and scatters each row with ``np.add.at``.
+        """
+        stable = stable_key_array(
+            keys if isinstance(keys, np.ndarray) else list(keys)
+        )
+        if stable.size == 0:
+            return
+        if deltas is None:
+            delta_arr = np.ones(stable.size, dtype=np.float64)
+        else:
+            delta_arr = np.asarray(deltas, dtype=np.float64)
+            if delta_arr.shape != (stable.size,):
+                raise ValueError(
+                    f"deltas shape {delta_arr.shape} does not match "
+                    f"{stable.size} keys"
+                )
+        for r in range(self.rows):
+            buckets = self._buckets[r].buckets_array(stable, self.width)
+            signs = self._signs[r].signs_array(stable).astype(np.float64)
+            np.add.at(self._table[r], buckets, delta_arr * signs)
 
     def query(self, key: Hashable) -> float:
         """Estimate ``f[key]`` (median over rows)."""
         return median(
-            [sign * self._table[r][bucket] for r, (bucket, sign) in enumerate(self._locate(key))]
+            [sign * self._table[r, bucket] for r, (bucket, sign) in enumerate(self._locate(key))]
         )
 
     def merge(self, other: "CountSketch") -> None:
@@ -59,12 +123,19 @@ class CountSketch:
             raise ValueError("can only merge sketches with identical layout")
         if any(a.seed != b.seed for a, b in zip(self._signs, other._signs)):
             raise ValueError("can only merge sketches with identical seeds")
-        for r in range(self.rows):
-            row, other_row = self._table[r], other._table[r]
-            for b in range(self.width):
-                row[b] += other_row[b]
+        self._table += other._table
+
+    @property
+    def cache_entries(self) -> int:
+        """Number of keys currently memoized in the (bucket, sign) cache."""
+        return len(self._key_cache)
 
     @property
     def space_items(self) -> int:
-        """Words of state (the table cells)."""
-        return self.rows * self.width
+        """Words of state: the table cells plus the live hash memo.
+
+        The memo stores ``rows`` (bucket, sign) pairs per key but is
+        charged one word per key, matching the paper's convention of
+        counting stored ids rather than bytes.
+        """
+        return self.rows * self.width + len(self._key_cache)

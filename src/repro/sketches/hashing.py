@@ -19,10 +19,87 @@ per-process hash randomization.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Hashable, List
+from typing import Hashable, Iterable, List
+
+import numpy as np
 
 MERSENNE_PRIME = (1 << 61) - 1
+
+_P64 = np.uint64(MERSENNE_PRIME)
+_SHIFT61 = np.uint64(61)
+_MASK31 = np.uint64((1 << 31) - 1)
+_MASK30 = np.uint64((1 << 30) - 1)
+
+
+def _mod_p(x: "np.ndarray") -> "np.ndarray":
+    """Reduce uint64 values ``< 2**63`` modulo ``2**61 - 1``.
+
+    Uses the Mersenne fold ``x mod p = (x >> 61) + (x & p)`` twice plus a
+    final conditional subtraction, all branch-free on arrays.
+    """
+    x = (x >> _SHIFT61) + (x & _P64)
+    x = (x >> _SHIFT61) + (x & _P64)
+    return np.where(x >= _P64, x - _P64, x)
+
+
+def _mulmod_p(a: "np.ndarray", b: "np.ndarray") -> "np.ndarray":
+    """``a * b mod (2**61 - 1)`` for uint64 arrays with entries ``< 2**61``.
+
+    Splits both operands into 31/30-bit halves so every intermediate
+    product fits in 64 bits:
+
+        a*b = a1*b1*2^62 + (a1*b0 + a0*b1)*2^31 + a0*b0,   2^62 = 2 (mod p)
+    """
+    a1 = a >> np.uint64(31)
+    a0 = a & _MASK31
+    b1 = b >> np.uint64(31)
+    b0 = b & _MASK31
+    top = _mod_p(_mod_p(a1 * b1) << np.uint64(1))
+    mid = _mod_p(a1 * b0 + a0 * b1)
+    # mid * 2^31 mod p: split mid = m1*2^30 + m0, and 2^61 = 1 (mod p)
+    m1 = mid >> np.uint64(30)
+    m0 = mid & _MASK30
+    mid_term = _mod_p(m1 + (m0 << np.uint64(31)))
+    low = _mod_p(a0 * b0)
+    return _mod_p(top + _mod_p(mid_term + low))
+
+
+def stable_key_array(keys: Iterable[Hashable]) -> "np.ndarray":
+    """Vectorized :func:`stable_key`: fold a batch of keys to uint64 < P.
+
+    Integer arrays are folded with array arithmetic; anything else
+    (tuples, strings, mixed lists) falls back to the scalar encoder per
+    element.  Both paths agree exactly with :func:`stable_key`.
+    """
+    if not isinstance(keys, np.ndarray) and isinstance(keys, (list, tuple, range)):
+        try:
+            candidate = np.asarray(keys)
+        except (OverflowError, ValueError):  # e.g. ints beyond int64
+            candidate = None
+        if (
+            candidate is not None
+            and candidate.ndim == 1
+            and np.issubdtype(candidate.dtype, np.integer)
+        ):
+            keys = candidate
+    if isinstance(keys, np.ndarray) and np.issubdtype(keys.dtype, np.integer):
+        values = keys.astype(np.int64, copy=False)
+        # Both branches only ever take modulo of non-negative int64, where
+        # C and Python semantics agree; results are < P < 2**61.
+        folded = np.where(
+            values < 0,
+            MERSENNE_PRIME - 1 - (np.abs(values) % MERSENNE_PRIME),
+            values % MERSENNE_PRIME,
+        )
+        return folded.astype(np.uint64)
+    materialized = keys if hasattr(keys, "__len__") else list(keys)
+    return np.fromiter(
+        (stable_key(key) for key in materialized),
+        dtype=np.uint64,
+        count=len(materialized),  # type: ignore[arg-type]
+    )
 
 
 def stable_key(value: Hashable) -> int:
@@ -105,6 +182,49 @@ class KWiseHash:
         if buckets < 1:
             raise ValueError(f"need at least one bucket, got {buckets}")
         return self.value(key) % buckets
+
+    # ------------------------------------------------------------------
+    # vectorized kernels (batch views of the same hash function)
+    # ------------------------------------------------------------------
+    def values_array(self, stable_keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`value` over pre-folded keys.
+
+        ``stable_keys`` must be a uint64 array of :func:`stable_key`
+        outputs (see :func:`stable_key_array`).  Returns uint64 values in
+        ``[0, MERSENNE_PRIME)`` identical to the scalar path, evaluated
+        by Horner's rule with the branch-free Mersenne ``mulmod``.
+        """
+        x = np.asarray(stable_keys, dtype=np.uint64)
+        acc = np.zeros_like(x)
+        for coeff in self._coeffs:
+            acc = _mod_p(_mulmod_p(acc, x) + np.uint64(coeff))
+        return acc
+
+    def uniforms_array(self, stable_keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`uniform` (float64 in ``(0, 1)``)."""
+        values = self.values_array(stable_keys)
+        return (values.astype(np.float64) + 1.0) / float(MERSENNE_PRIME + 1)
+
+    def bernoulli_array(self, stable_keys: "np.ndarray", p: float) -> "np.ndarray":
+        """Vectorized :meth:`bernoulli` (bool array)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        # The scalar path compares the exact integer value against the
+        # float p*P; ``value < t`` over integers is ``value < ceil(t)``,
+        # which keeps the comparison exact in uint64.
+        threshold = np.uint64(math.ceil(p * MERSENNE_PRIME))
+        return self.values_array(stable_keys) < threshold
+
+    def signs_array(self, stable_keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`sign` (int64 array of +-1)."""
+        values = self.values_array(stable_keys)
+        return np.where(values & np.uint64(1), 1, -1).astype(np.int64)
+
+    def buckets_array(self, stable_keys: "np.ndarray", buckets: int) -> "np.ndarray":
+        """Vectorized :meth:`bucket` (int64 array in ``[0, buckets)``)."""
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        return (self.values_array(stable_keys) % np.uint64(buckets)).astype(np.int64)
 
     def choice4(self, key: Hashable, p0: float, p1: float, p2: float) -> int:
         """A four-way choice with probabilities ``p0, p1, p2, 1-p0-p1-p2``.

@@ -1,0 +1,67 @@
+"""The memoized ground-truth cache used by workload construction."""
+
+import pytest
+
+from repro.experiments.groundtruth import (
+    cache_info,
+    cached_ground_truth,
+    clear_cache,
+    freeze_params,
+)
+from repro.graphs import erdos_renyi, four_cycle_count, triangle_count
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFreezeParams:
+    def test_nested_structures_hashable(self):
+        frozen = freeze_params({"a": [1, 2], "b": {"c": (3, {4})}})
+        assert hash(frozen) == hash(freeze_params({"a": [1, 2], "b": {"c": (3, {4})}}))
+
+    def test_distinct_params_distinct_keys(self):
+        assert freeze_params({"n": 10}) != freeze_params({"n": 11})
+
+
+class TestCachedGroundTruth:
+    def test_counts_match_exact(self):
+        graph = erdos_renyi(30, 0.2, seed=1)
+        counts = cached_ground_truth("gnp", {"n": 30, "p": 0.2, "seed": 1}, graph)
+        assert counts["triangles"] == triangle_count(graph)
+        assert counts["four_cycles"] == four_cycle_count(graph)
+
+    def test_hit_on_second_call(self):
+        graph = erdos_renyi(20, 0.2, seed=2)
+        params = {"n": 20, "p": 0.2, "seed": 2}
+        first = cached_ground_truth("gnp", params, graph)
+        second = cached_ground_truth("gnp", params, graph)
+        assert first == second
+        info = cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["entries"] == 1
+
+    def test_returns_copy_not_alias(self):
+        graph = erdos_renyi(15, 0.2, seed=3)
+        params = {"seed": 3}
+        first = cached_ground_truth("gnp", params, graph)
+        first["triangles"] = -999
+        assert cached_ground_truth("gnp", params, graph)["triangles"] != -999
+
+    def test_distinct_generators_not_conflated(self):
+        graph_a = erdos_renyi(20, 0.3, seed=4)
+        graph_b = erdos_renyi(20, 0.1, seed=4)
+        a = cached_ground_truth("gnp", {"p": 0.3, "seed": 4}, graph_a)
+        b = cached_ground_truth("gnp", {"p": 0.1, "seed": 4}, graph_b)
+        assert cache_info()["entries"] == 2
+        assert a["triangles"] == triangle_count(graph_a)
+        assert b["triangles"] == triangle_count(graph_b)
+
+    def test_clear_cache_resets(self):
+        graph = erdos_renyi(10, 0.2, seed=5)
+        cached_ground_truth("gnp", {"seed": 5}, graph)
+        clear_cache()
+        info = cache_info()
+        assert info == {"hits": 0, "misses": 0, "entries": 0}

@@ -1,0 +1,172 @@
+"""Vectorized generators vs the legacy scalar loops.
+
+The numpy generators draw from the *same distributions* as the
+``*_loop`` legacy implementations but use a different RNG, so a fixed
+seed yields a different (equally distributed) instance.  The tests
+therefore check (a) structural invariants and determinism per
+generator, (b) distribution agreement between old and new paths on
+matched parameters — edge counts and subgraph-count statistics
+averaged over seeds, and (c) exact agreement with
+``repro.graphs.exact`` counters on small instances.
+"""
+
+import statistics
+
+import pytest
+
+from repro.graphs import (
+    chung_lu,
+    chung_lu_loop,
+    erdos_renyi,
+    erdos_renyi_loop,
+    fast_counts,
+    four_cycle_count,
+    gnm_random_graph,
+    gnm_random_graph_loop,
+    random_bipartite,
+    random_bipartite_loop,
+    triangle_count,
+)
+from repro.graphs.exact import wedge_counts
+
+
+def _wedge_f2(graph):
+    return sum(c * c for c in wedge_counts(graph).values())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: erdos_renyi(60, 0.1, seed=s),
+            lambda s: gnm_random_graph(60, 120, seed=s),
+            lambda s: chung_lu([3.0] * 40, seed=s),
+            lambda s: random_bipartite(20, 25, 0.2, seed=s),
+        ],
+        ids=["gnp", "gnm", "chung-lu", "bipartite"],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert sorted(make(7).edges()) == sorted(make(7).edges())
+        assert sorted(make(7).edges()) != sorted(make(8).edges())
+
+
+class TestStructuralInvariants:
+    def test_gnp_extremes(self):
+        assert erdos_renyi(30, 0.0, seed=1).num_edges == 0
+        full = erdos_renyi(30, 1.0, seed=1)
+        assert full.num_edges == 30 * 29 // 2
+
+    def test_gnm_exact_edge_count(self):
+        for seed in range(5):
+            graph = gnm_random_graph(50, 200, seed=seed)
+            assert graph.num_edges == 200
+            for u, v in graph.edges():
+                assert u != v and 0 <= u < 50 and 0 <= v < 50
+
+    def test_bipartite_no_within_side_edges(self):
+        graph = random_bipartite(15, 20, 0.3, seed=3)
+        for u, v in graph.edges():
+            assert u < 15 <= v < 35
+
+    def test_chung_lu_respects_zero_weights(self):
+        graph = chung_lu([0.0, 0.0, 5.0, 5.0, 5.0], seed=2)
+        for u, v in graph.edges():
+            assert u >= 2 and v >= 2
+
+
+class TestDistributionMatchesLegacyLoop:
+    """Old-loop and numpy generators agree in distribution.
+
+    With the G(n,p) edge count ~ Binomial(C(n,2), p), a 5-sigma band
+    around the exact mean keeps false failures negligible while still
+    catching an off-by-one in the probability handling.
+    """
+
+    def test_gnp_edge_count_mean(self):
+        n, p, seeds = 80, 0.08, range(30)
+        pairs = n * (n - 1) // 2
+        expected = pairs * p
+        sigma = (pairs * p * (1 - p)) ** 0.5
+        for gen in (erdos_renyi, erdos_renyi_loop):
+            mean = statistics.mean(gen(n, p, seed=s).num_edges for s in seeds)
+            assert abs(mean - expected) < 5 * sigma / (len(seeds) ** 0.5)
+
+    def test_gnp_triangle_mean(self):
+        n, p, seeds = 40, 0.15, range(30)
+        expected = (n * (n - 1) * (n - 2) / 6) * p**3
+        means = {}
+        for gen in (erdos_renyi, erdos_renyi_loop):
+            means[gen.__name__] = statistics.mean(
+                triangle_count(gen(n, p, seed=s)) for s in seeds
+            )
+        # both near the analytic mean, and near each other
+        for mean in means.values():
+            assert abs(mean - expected) < 0.5 * expected + 2.0
+        assert abs(means["erdos_renyi"] - means["erdos_renyi_loop"]) < 0.5 * expected + 2.0
+
+    def test_gnm_four_cycle_and_wedge_stats(self):
+        n, m, seeds = 40, 120, range(20)
+        stats = {}
+        for gen in (gnm_random_graph, gnm_random_graph_loop):
+            graphs = [gen(n, m, seed=s) for s in seeds]
+            stats[gen.__name__] = (
+                statistics.mean(four_cycle_count(g) for g in graphs),
+                statistics.mean(_wedge_f2(g) for g in graphs),
+            )
+        new_c4, new_f2 = stats["gnm_random_graph"]
+        old_c4, old_f2 = stats["gnm_random_graph_loop"]
+        assert abs(new_c4 - old_c4) <= 0.35 * max(old_c4, 1.0)
+        assert abs(new_f2 - old_f2) <= 0.25 * max(old_f2, 1.0)
+
+    def test_chung_lu_degree_mass(self):
+        weights = [6.0] * 30 + [2.0] * 60
+        seeds = range(20)
+        for gen in (chung_lu, chung_lu_loop):
+            mean_edges = statistics.mean(gen(weights, seed=s).num_edges for s in seeds)
+            # expected edges ~ sum_{u<v} w_u w_v / W
+            total = sum(weights)
+            expected = sum(
+                min(1.0, weights[u] * weights[v] / total)
+                for u in range(len(weights))
+                for v in range(u + 1, len(weights))
+            )
+            assert abs(mean_edges - expected) < 0.2 * expected
+
+    def test_bipartite_edge_count_mean(self):
+        a, b, p, seeds = 20, 30, 0.15, range(25)
+        expected = a * b * p
+        for gen in (random_bipartite, random_bipartite_loop):
+            mean = statistics.mean(gen(a, b, p, seed=s).num_edges for s in seeds)
+            assert abs(mean - expected) < 0.25 * expected
+
+
+class TestExactCountsPinned:
+    """Vectorized output agrees with repro.graphs.exact on small n."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counts_cross_check_fast_vs_exact(self, seed):
+        graph = erdos_renyi(25, 0.3, seed=seed)
+        counts = fast_counts(graph)
+        assert counts["triangles"] == triangle_count(graph)
+        assert counts["four_cycles"] == four_cycle_count(graph)
+        assert counts["wedge_f2"] == _wedge_f2(graph)
+
+    def test_pinned_small_instances(self):
+        # Frozen regression pins: these exact values were computed with
+        # repro.graphs.exact when the vectorized generators landed; a
+        # drift means the seeded sampling changed.
+        graph = erdos_renyi(12, 0.5, seed=42)
+        assert graph.num_edges == 31
+        assert triangle_count(graph) == 25
+        assert four_cycle_count(graph) == 72
+        assert _wedge_f2(graph) == 437
+        assert fast_counts(graph) == {
+            "triangles": 25,
+            "four_cycles": 72,
+            "wedge_f2": 437,
+        }
+        gnm = gnm_random_graph(10, 20, seed=7)
+        assert gnm.num_edges == 20
+        assert triangle_count(gnm) == 10
+        assert four_cycle_count(gnm) == 19
+        assert fast_counts(gnm)["triangles"] == 10
