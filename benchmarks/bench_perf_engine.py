@@ -36,6 +36,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.baselines import EdgeSamplingFourCycles
 from repro.core import TriangleRandomOrder
 from repro.experiments import cache_info, cached_ground_truth, clear_cache, run_trials
@@ -205,4 +206,66 @@ def test_countsketch_batch_speedup():
     )
     assert speedup >= (1.0 if QUICK else 4.0), (
         f"update_batch only {speedup:.2f}x faster"
+    )
+
+
+def test_telemetry_off_overhead():
+    """Telemetry hooks must stay under 3% of the sweep when no session
+    is active (the repo-wide default).
+
+    Off-path instrumentation cost is a handful of no-op dispatches per
+    *phase* (never per edge): each hook site pays one ``obs.current()``
+    lookup, a null-span context enter/exit, or an ``enabled`` check.
+    The test (a) times the sweep with telemetry off, (b) replays it
+    inside a session to count exactly how many spans / metric emissions
+    the run triggers, (c) microbenchmarks the null dispatches, and
+    asserts the projected hook cost — with a 4x safety margin — is
+    below 3% of the measured sweep time.
+    """
+    assert not obs.current().enabled, "a telemetry session leaked into the bench"
+
+    # (a) sweep with telemetry off — what users pay by default
+    reps = 2 if QUICK else 3
+    off_seconds = None
+    for _ in range(reps):
+        clear_cache()
+        seconds, _rows = _timed(_engine_sweep, 1)
+        off_seconds = seconds if off_seconds is None else min(off_seconds, seconds)
+
+    # (b) identical sweep inside a session: count the hook firings
+    clear_cache()
+    with obs.session() as telemetry:
+        _engine_sweep(1)
+        span_count = telemetry.tracer.span_count()
+        metric_count = len(telemetry.metrics)
+
+    # (c) null dispatch microbenchmarks
+    k = 50_000
+    null = obs.current()
+    dispatch_seconds, _ = _timed(
+        lambda: [obs.current().enabled for _ in range(k)]
+    )
+    span_seconds, _ = _timed(
+        lambda: [null.tracer.span("x", kind="pass").__exit__(None, None, None)
+                 for _ in range(k)]
+    )
+    per_dispatch = dispatch_seconds / k
+    per_span = span_seconds / k
+
+    # every span site and every (batched) metric site pays one dispatch;
+    # span sites additionally pay the null context.  4x margin on top.
+    hook_sites = span_count + metric_count
+    projected = 4.0 * (hook_sites * per_dispatch + span_count * per_span)
+    overhead = projected / max(off_seconds, 1e-9)
+
+    print(f"\ntelemetry-off overhead: sweep={off_seconds:.3f}s")
+    print(f"  spans/run          : {span_count}")
+    print(f"  metric emissions   : {metric_count}")
+    print(f"  null dispatch      : {per_dispatch * 1e9:8.1f} ns")
+    print(f"  null span ctx      : {per_span * 1e9:8.1f} ns")
+    print(f"  projected overhead : {overhead * 100:8.4f}% (4x margin, budget 3%)")
+
+    assert overhead < 0.03, (
+        f"telemetry-off hooks projected at {overhead * 100:.3f}% of the sweep "
+        "(budget 3%) — a hook has crept into a per-edge path"
     )

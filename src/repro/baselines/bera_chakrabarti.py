@@ -26,6 +26,7 @@ import math
 import random
 from typing import Dict, List, Set, Tuple
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Edge, normalize_edge
 from ..streams.meter import SpaceMeter
@@ -67,6 +68,7 @@ class BeraChakrabartiFourCycles:
 
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         m = stream.num_edges
         if m < 4:
             return EstimateResult(0.0, 1, meter, self.name, {"empty": True})
@@ -85,9 +87,10 @@ class BeraChakrabartiFourCycles:
         for slot, pos in enumerate(positions):
             wanted.setdefault(pos, []).append(slot)
         slot_edges: List[Edge] = [None] * (2 * k)  # type: ignore[list-item]
-        for pos, edge in enumerate(stream.edges()):
-            for slot in wanted.get(pos, ()):
-                slot_edges[slot] = edge
+        with telemetry.tracer.span("pass1:pair-sample", kind="pass"):
+            for pos, edge in enumerate(stream.edges()):
+                for slot in wanted.get(pos, ()):
+                    slot_edges[slot] = edge
         meter.set("sampled_edges", 2 * k)
 
         pairs: List[Tuple[Edge, Edge]] = [
@@ -115,10 +118,12 @@ class BeraChakrabartiFourCycles:
 
         # ---- pass 2: observe which connecting edges exist -------------
         present: Set[Edge] = set()
-        for u, v in stream.edges():
-            edge = normalize_edge(u, v)
-            if edge in watch:
-                present.add(edge)
+        with telemetry.tracer.span("pass2:check-completions", kind="pass") as span:
+            for u, v in stream.edges():
+                edge = normalize_edge(u, v)
+                if edge in watch:
+                    present.add(edge)
+            span.set("watched_edges", len(watch))
         meter.set("present_marks", len(present))
 
         z_total = 0
@@ -127,6 +132,10 @@ class BeraChakrabartiFourCycles:
                 if first in present and second in present:
                     z_total += 1
         estimate = (m * m * z_total) / (4.0 * k)
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.sampled_pairs", k)
+            telemetry.metrics.inc(f"{self.name}.watched_edges", len(watch))
+            telemetry.metrics.inc(f"{self.name}.completed_pairs", z_total)
 
         details = {"pairs": k, "z_total": z_total}
         return EstimateResult(estimate, stream.passes_taken, meter, self.name, details)

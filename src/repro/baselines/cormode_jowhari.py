@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Set
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Vertex
 from ..streams.meter import SpaceMeter
@@ -64,21 +65,25 @@ class CormodeJowhariTriangles:
         prefix_len = max(1, math.ceil(beta * m))
         beta_effective = prefix_len / m
 
+        telemetry = _obs.current()
         adj: Dict[Vertex, Set[Vertex]] = {}
         closed_wedges = 0
-        for pos, (u, v) in enumerate(stream.edges(), start=1):
-            if pos <= prefix_len:
-                adj.setdefault(u, set()).add(v)
-                adj.setdefault(v, set()).add(u)
-                meter.add("prefix_edges")
-                continue
-            set_u = adj.get(u)
-            set_v = adj.get(v)
-            if not set_u or not set_v:
-                continue
-            if len(set_u) > len(set_v):
-                set_u, set_v = set_v, set_u
-            closed_wedges += sum(1 for w in set_u if w in set_v)
+        with telemetry.tracer.span("pass1:prefix-wedges", kind="pass"):
+            for pos, (u, v) in enumerate(stream.edges(), start=1):
+                if pos <= prefix_len:
+                    adj.setdefault(u, set()).add(v)
+                    adj.setdefault(v, set()).add(u)
+                    meter.add("prefix_edges")
+                    continue
+                set_u = adj.get(u)
+                set_v = adj.get(v)
+                if not set_u or not set_v:
+                    continue
+                if len(set_u) > len(set_v):
+                    set_u, set_v = set_v, set_u
+                closed_wedges += sum(1 for w in set_u if w in set_v)
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.closed_wedges", closed_wedges)
 
         if beta_effective >= 1.0:
             # prefix is the whole stream: count triangles inside it exactly

@@ -12,6 +12,7 @@ frontier experiment (E13) shows.
 
 from __future__ import annotations
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs import four_cycle_count, triangle_count
 from ..graphs.graph import Graph, normalize_edge
@@ -29,12 +30,16 @@ class _EdgeSampling:
 
     def _collect(self, stream: StreamSource) -> tuple[Graph, SpaceMeter]:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         sample_hash = KWiseHash(k=2, seed=self.seed * 37 + 5)
         graph = Graph()
-        for u, v in stream.edges():
-            if sample_hash.bernoulli(normalize_edge(u, v), self.p):
-                if graph.add_edge(u, v):
-                    meter.add("sampled_edges")
+        with telemetry.tracer.span("pass1:sample", kind="pass"):
+            for u, v in stream.edges():
+                if sample_hash.bernoulli(normalize_edge(u, v), self.p):
+                    if graph.add_edge(u, v):
+                        meter.add("sampled_edges")
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.sampled_edges", graph.num_edges)
         return graph, meter
 
 

@@ -7,6 +7,7 @@ experiments and as the space ceiling in the frontier plots.
 
 from __future__ import annotations
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs import four_cycle_count, triangle_count
 from ..graphs.graph import Graph
@@ -21,10 +22,14 @@ class _ExactStream:
 
     def _collect(self, stream: StreamSource) -> tuple[Graph, SpaceMeter]:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         graph = Graph()
-        for u, v in stream.edges():
-            if graph.add_edge(u, v):
-                meter.add("stored_edges")
+        with telemetry.tracer.span("pass1:buffer", kind="pass"):
+            for u, v in stream.edges():
+                if graph.add_edge(u, v):
+                    meter.add("stored_edges")
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.stored_edges", graph.num_edges)
         return graph, meter
 
 

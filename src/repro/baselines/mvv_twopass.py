@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Set, Tuple
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Edge, Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
@@ -61,37 +62,43 @@ class TwoPassTriangles:
 
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         p = min(1.0, self.c / (self.epsilon * math.sqrt(self.t_guess)))
         sample_hash = KWiseHash(k=2, seed=self.seed * 61 + 3)
 
         # ---- pass 1: the edge sample, indexed by endpoint -------------
         sampled: Set[Edge] = set()
         by_endpoint: Dict[Vertex, List[Edge]] = {}
-        for u, v in stream.edges():
-            edge = normalize_edge(u, v)
-            if sample_hash.bernoulli(edge, p):
-                sampled.add(edge)
-                by_endpoint.setdefault(u, []).append(edge)
-                by_endpoint.setdefault(v, []).append(edge)
-                meter.add("sampled_edges")
+        with telemetry.tracer.span("pass1:sample", kind="pass"):
+            for u, v in stream.edges():
+                edge = normalize_edge(u, v)
+                if sample_hash.bernoulli(edge, p):
+                    sampled.add(edge)
+                    by_endpoint.setdefault(u, []).append(edge)
+                    by_endpoint.setdefault(v, []).append(edge)
+                    meter.add("sampled_edges")
 
         # ---- pass 2: exact per-sampled-edge triangle counts -----------
         half_wedges: Set[Tuple[Edge, Vertex]] = set()
         triangle_hits: Dict[Edge, int] = {}
-        for a, b in stream.edges():
-            for endpoint, other in ((a, b), (b, a)):
-                for edge in by_endpoint.get(endpoint, ()):
-                    if other in edge:  # the sampled edge itself
-                        continue
-                    key = (edge, other)
-                    if key in half_wedges:
-                        # both wedge arms seen: a triangle through `edge`
-                        triangle_hits[edge] = triangle_hits.get(edge, 0) + 1
-                    else:
-                        half_wedges.add(key)
-                        meter.add("half_wedges")
+        with telemetry.tracer.span("pass2:count", kind="pass"):
+            for a, b in stream.edges():
+                for endpoint, other in ((a, b), (b, a)):
+                    for edge in by_endpoint.get(endpoint, ()):
+                        if other in edge:  # the sampled edge itself
+                            continue
+                        key = (edge, other)
+                        if key in half_wedges:
+                            # both wedge arms seen: a triangle through `edge`
+                            triangle_hits[edge] = triangle_hits.get(edge, 0) + 1
+                        else:
+                            half_wedges.add(key)
+                            meter.add("half_wedges")
 
         total_hits = sum(triangle_hits.values())
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.sampled_edges", len(sampled))
+            telemetry.metrics.inc(f"{self.name}.triangle_hits", total_hits)
         estimate = total_hits / (3.0 * p)
         details = {
             "p": p,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Set
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Vertex
 from ..streams.meter import SpaceMeter
@@ -35,6 +36,7 @@ class _ReservoirGraph:
         self._rng = random.Random(seed)
         self.edges: list = []
         self.adj: Dict[Vertex, Set[Vertex]] = {}
+        self.evictions = 0
 
     def common_neighbors(self, u: Vertex, v: Vertex) -> int:
         set_u = self.adj.get(u)
@@ -70,6 +72,7 @@ class _ReservoirGraph:
         slot = self._rng.randrange(t)
         if slot < self.capacity:
             evicted = self._remove_at(slot)
+            self.evictions += 1
             if on_remove is not None:
                 on_remove(evicted)
             self.edges[slot] = (u, v)
@@ -92,21 +95,27 @@ class TriestBase:
 
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         reservoir = _ReservoirGraph(self.memory, seed=self.seed * 41 + 1)
         tau = 0
         t = 0
 
-        for u, v in stream.edges():
-            t += 1
+        with telemetry.tracer.span("pass1:reservoir", kind="pass"):
+            for u, v in stream.edges():
+                t += 1
 
-            def on_remove(evicted, _r=reservoir):
-                nonlocal tau
-                tau -= _r.common_neighbors(*evicted)
+                def on_remove(evicted, _r=reservoir):
+                    nonlocal tau
+                    tau -= _r.common_neighbors(*evicted)
 
-            if reservoir.offer(u, v, t, on_remove=on_remove):
-                # count triangles the new edge closes inside the reservoir
-                tau += reservoir.common_neighbors(u, v)
-            meter.set("reservoir_edges", len(reservoir.edges))
+                if reservoir.offer(u, v, t, on_remove=on_remove):
+                    # count triangles the new edge closes inside the reservoir
+                    tau += reservoir.common_neighbors(u, v)
+                meter.set("reservoir_edges", len(reservoir.edges))
+        if telemetry.enabled:
+            telemetry.metrics.inc(
+                f"{self.name}.reservoir_evictions", reservoir.evictions
+            )
 
         m_cap = self.memory
         if t <= m_cap:
@@ -134,18 +143,24 @@ class TriestImpr:
 
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         reservoir = _ReservoirGraph(self.memory, seed=self.seed * 41 + 2)
         tau = 0.0
         t = 0
         m_cap = self.memory
-        for u, v in stream.edges():
-            t += 1
-            # impr: count before the sampling decision, with weight eta(t)
-            eta = max(1.0, ((t - 1) * (t - 2)) / (m_cap * (m_cap - 1)))
-            closed = reservoir.common_neighbors(u, v)
-            if closed:
-                tau += eta * closed
-            reservoir.offer(u, v, t)
-            meter.set("reservoir_edges", len(reservoir.edges))
+        with telemetry.tracer.span("pass1:reservoir", kind="pass"):
+            for u, v in stream.edges():
+                t += 1
+                # impr: count before the sampling decision, with weight eta(t)
+                eta = max(1.0, ((t - 1) * (t - 2)) / (m_cap * (m_cap - 1)))
+                closed = reservoir.common_neighbors(u, v)
+                if closed:
+                    tau += eta * closed
+                reservoir.offer(u, v, t)
+                meter.set("reservoir_edges", len(reservoir.edges))
+        if telemetry.enabled:
+            telemetry.metrics.inc(
+                f"{self.name}.reservoir_evictions", reservoir.evictions
+            )
         details = {"stream_length": t}
         return EstimateResult(max(0.0, tau), stream.passes_taken, meter, self.name, details)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
@@ -56,21 +57,29 @@ class WedgePairSamplingFourCycles:
         if not isinstance(stream, AdjacencyListStream):
             raise TypeError("WedgePairSamplingFourCycles needs an adjacency-list stream")
         meter = SpaceMeter()
+        telemetry = _obs.current()
         wedge_hash = KWiseHash(k=2, seed=self.seed * 53 + 9)
         buckets: Dict[Tuple[Vertex, Vertex], int] = {}
 
-        for center, neighbors in stream.adjacency_lists():
-            ordered = sorted(neighbors, key=repr)
-            for i, u in enumerate(ordered):
-                for v in ordered[i + 1 :]:
-                    if wedge_hash.bernoulli((center, u, v), self.wedge_probability):
-                        pair = normalize_edge(u, v)
-                        if pair not in buckets:
-                            buckets[pair] = 0
-                            meter.add("wedge_buckets")
-                        buckets[pair] += 1
+        with telemetry.tracer.span("pass1:wedge-sample", kind="pass") as span:
+            for center, neighbors in stream.adjacency_lists():
+                ordered = sorted(neighbors, key=repr)
+                for i, u in enumerate(ordered):
+                    for v in ordered[i + 1 :]:
+                        if wedge_hash.bernoulli((center, u, v), self.wedge_probability):
+                            pair = normalize_edge(u, v)
+                            if pair not in buckets:
+                                buckets[pair] = 0
+                                meter.add("wedge_buckets")
+                            buckets[pair] += 1
+            span.set("space_peak", meter.peak)
 
         pairs_sum = sum(k * (k - 1) // 2 for k in buckets.values())
+        if telemetry.enabled:
+            telemetry.metrics.inc(
+                f"{self.name}.sampled_wedges", sum(buckets.values())
+            )
+            telemetry.metrics.inc(f"{self.name}.wedge_buckets", len(buckets))
         estimate = pairs_sum / (2.0 * self.wedge_probability**2)
         details = {
             "sampled_wedges": sum(buckets.values()),

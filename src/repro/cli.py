@@ -7,6 +7,11 @@ Commands:
 * ``exact``      — exact triangle / four-cycle counts of an edge list.
 * ``estimate``   — run a streaming algorithm over an edge-list file.
 * ``experiments``— print the experiment index (id -> bench target).
+* ``obs``        — observability: render a trace file into a report.
+
+``estimate``, ``run-experiment`` and ``paper-table`` accept ``--trace
+PATH`` to record a JSON-lines telemetry trace (spans, metrics, run
+manifest) that ``repro obs report PATH`` renders afterwards.
 
 Examples::
 
@@ -14,16 +19,20 @@ Examples::
     python -m repro exact /tmp/g.txt
     python -m repro estimate /tmp/g.txt --problem four-cycles \
         --model adjacency --epsilon 0.3 --trials 5
+    python -m repro run-experiment E1 --trace /tmp/e1.jsonl
+    python -m repro obs report /tmp/e1.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import statistics
 import sys
 from typing import List, Optional
 
 from . import api
+from . import obs as _obs
 from .experiments import ALL_WORKLOADS, build_workload, format_records
 from .graphs import four_cycle_count, graph_summary, triangle_count
 from .graphs.io import read_edge_list, write_edge_list
@@ -52,6 +61,19 @@ EXPERIMENT_INDEX = [
 def _estimate_with_seed(estimate_one, seed: int):
     """Module-level trial worker (picklable for ``--jobs`` fan-out)."""
     return estimate_one(seed=seed)
+
+
+def _maybe_trace(args: argparse.Namespace):
+    """A telemetry session writing to ``--trace``, or a no-op context."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return contextlib.nullcontext(_obs.current())
+    config = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in ("func",) and not callable(value)
+    }
+    return _obs.session(path=path, config=config)
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -97,11 +119,34 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         boost_copies=args.boost,
     )
-    results = parallel_map(
-        functools.partial(_estimate_with_seed, estimate_one),
-        [args.seed + trial for trial in range(args.trials)],
-        n_jobs=args.jobs,
-    )
+    truth = None
+    if args.compare_exact:
+        truth = (
+            triangle_count(graph)
+            if args.problem == "triangles"
+            else four_cycle_count(graph)
+        )
+    with _maybe_trace(args) as telemetry:
+        with telemetry.tracer.span(
+            "estimate", kind="experiment", problem=args.problem, model=args.model
+        ):
+            results = parallel_map(
+                functools.partial(_estimate_with_seed, estimate_one),
+                [args.seed + trial for trial in range(args.trials)],
+                n_jobs=args.jobs,
+            )
+        if telemetry.enabled:
+            payload = {
+                "problem": args.problem,
+                "model": args.model,
+                "trials": args.trials,
+                "epsilon": args.epsilon,
+                "estimates": [result.estimate for result in results],
+                "space_items": [result.space_items for result in results],
+            }
+            if truth is not None:
+                payload["truth"] = truth
+            telemetry.record_run("estimate", payload)
     estimates: List[float] = [result.estimate for result in results]
     spaces: List[int] = [result.space_items for result in results]
     passes = results[-1].passes if results else 0
@@ -125,6 +170,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 abs(statistics.median(estimates) - truth) / truth, 4
             )
     print(format_records(rows))
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -151,18 +198,40 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 def _cmd_paper_table(args: argparse.Namespace) -> int:
     from .experiments.paper_table import paper_table
 
+    with _maybe_trace(args):
+        table = paper_table(seed=args.seed, trials=args.trials)
     print("Section 1.1 contributions table, with measured columns")
-    print(format_records(paper_table(seed=args.seed, trials=args.trials)))
+    print(format_records(table))
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
     return 0
 
 
 def _cmd_run_experiment(args: argparse.Namespace) -> int:
     from .experiments.suite import SUITE, run_experiment
 
-    records = run_experiment(args.id, seed=args.seed, n_jobs=args.jobs)
+    with _maybe_trace(args):
+        records = run_experiment(args.id, seed=args.seed, n_jobs=args.jobs)
     experiment = SUITE[args.id.upper()]
     print(experiment.title)
     print(format_records(records))
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    # imported lazily: repro.obs.report pulls in experiments.reporting,
+    # which would make repro.obs -> repro.experiments a hard cycle
+    from .obs.report import report_file
+
+    flagged = report_file(
+        args.path,
+        error_budget=args.error_budget,
+        space_budget=args.space_budget,
+    )
+    if flagged and args.strict:
+        return 1
     return 0
 
 
@@ -213,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for independent trials (-1 = all cores)",
     )
+    estimate.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines telemetry trace (render with `repro obs report`)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     sub.add_parser("experiments", help="print the experiment index").set_defaults(
@@ -224,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table.add_argument("--seed", type=int, default=0)
     table.add_argument("--trials", type=int, default=3)
+    table.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines telemetry trace (render with `repro obs report`)",
+    )
     table.set_defaults(func=_cmd_paper_table)
 
     run_exp = sub.add_parser(
@@ -237,7 +318,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for independent trials (-1 = all cores)",
     )
+    run_exp.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines telemetry trace (render with `repro obs report`)",
+    )
     run_exp.set_defaults(func=_cmd_run_experiment)
+
+    obs = sub.add_parser("obs", help="observability commands")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="render a trace file into per-phase timing/space tables"
+    )
+    report.add_argument("path", help="JSON-lines trace written via --trace")
+    report.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        help="flag trials whose relative error exceeds this "
+        "(default: the run's epsilon, when recorded)",
+    )
+    report.add_argument(
+        "--space-budget",
+        type=float,
+        default=None,
+        help="flag trials whose space (items) exceeds this",
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any trial is flagged",
+    )
+    report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

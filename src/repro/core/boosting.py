@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, List
 
+from .. import obs as _obs
 from ..sketches.estimators import median
 from ..streams.meter import SpaceMeter
 from ..streams.models import StreamSource
@@ -70,13 +71,17 @@ class MedianBoost:
         results: List[EstimateResult] = []
         passes_per_copy = 0
         meter = SpaceMeter()
+        telemetry = _obs.current()
         for j in range(self.copies):
             before = stream.passes_taken
             algorithm = self.algorithm_factory(self.seed * 100_003 + j)
-            result = algorithm.run(stream)
+            with telemetry.tracer.span(f"copy[{j}]", kind="copy"):
+                result = algorithm.run(stream)
             passes_per_copy = max(passes_per_copy, stream.passes_taken - before)
             results.append(result)
             meter.merge(result.space, prefix=f"copy{j}_")
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.copies", self.copies)
         estimate = median([r.estimate for r in results])
         details = {
             "copies": self.copies,

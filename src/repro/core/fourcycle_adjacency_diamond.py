@@ -41,6 +41,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Set
 
+from .. import obs as _obs
 from ..graphs.graph import Vertex
 from ..sketches.hashing import KWiseHash
 from ..streams.meter import SpaceMeter
@@ -230,41 +231,55 @@ class FourCycleAdjacencyDiamond:
             raise TypeError("FourCycleAdjacencyDiamond requires an adjacency-list stream")
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()
+        telemetry = _obs.current()
         shifts = self._build_classes(n)
         all_classes = [inst for levels in shifts for inst in levels]
 
         # ---- pass 1: draw vertex + edge samples per class -------------
-        for vertex, neighbors in stream.adjacency_lists():
-            for inst in all_classes:
-                inst.observe_pass1(vertex, neighbors)
+        with telemetry.tracer.span("pass1:sample", kind="pass") as span:
+            for vertex, neighbors in stream.adjacency_lists():
+                for inst in all_classes:
+                    inst.observe_pass1(vertex, neighbors)
+            span.set(
+                "sampled_edges", sum(inst.sampled_edge_count for inst in all_classes)
+            )
 
         # ---- pass 2: estimate sizes, feed the Useful runs --------------
-        for inst in all_classes:
-            inst.start_pass2()
-        for vertex, neighbors in stream.adjacency_lists():
+        with telemetry.tracer.span("pass2:size-estimate", kind="pass"):
             for inst in all_classes:
-                inst.observe_pass2(vertex, neighbors)
+                inst.start_pass2()
+            for vertex, neighbors in stream.adjacency_lists():
+                for inst in all_classes:
+                    inst.observe_pass2(vertex, neighbors)
 
         # ---- combine: per-shift totals, keep the max, halve ------------
-        shift_totals: List[float] = []
-        per_class: List[Dict[str, float]] = []
-        for j, levels in enumerate(shifts):
-            total = 0.0
-            for inst in levels:
-                cycles = inst.estimate_cycles()
-                total += cycles
-                per_class.append(
-                    {
-                        "shift_index": j,
-                        "boundary": inst.boundary,
-                        "pv": inst.pv,
-                        "pe": inst.pe,
-                        "cycles": cycles,
-                    }
-                )
-            shift_totals.append(total)
-        best_shift = max(range(len(shift_totals)), key=lambda j: shift_totals[j])
-        estimate = shift_totals[best_shift] / 2.0
+        with telemetry.tracer.span("post:combine", kind="phase"):
+            shift_totals: List[float] = []
+            per_class: List[Dict[str, float]] = []
+            for j, levels in enumerate(shifts):
+                total = 0.0
+                for inst in levels:
+                    cycles = inst.estimate_cycles()
+                    total += cycles
+                    per_class.append(
+                        {
+                            "shift_index": j,
+                            "boundary": inst.boundary,
+                            "pv": inst.pv,
+                            "pe": inst.pe,
+                            "cycles": cycles,
+                        }
+                    )
+                shift_totals.append(total)
+            best_shift = max(range(len(shift_totals)), key=lambda j: shift_totals[j])
+            estimate = shift_totals[best_shift] / 2.0
+
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.size_classes", len(all_classes))
+            telemetry.metrics.inc(
+                f"{self.name}.sampled_edges",
+                sum(inst.sampled_edge_count for inst in all_classes),
+            )
 
         for idx, inst in enumerate(all_classes):
             meter.set(f"class_{idx}", inst.space_items)

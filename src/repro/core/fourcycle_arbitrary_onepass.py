@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Set
 
+from .. import obs as _obs
 from ..graphs.graph import Vertex
 from ..sketches.hashing import KWiseHash
 from ..sketches.wedge_f2 import WedgeF2Estimator
@@ -68,6 +69,7 @@ class FourCycleArbitraryOnePass:
     def run(self, stream: StreamSource) -> EstimateResult:
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()
+        telemetry = _obs.current()
 
         # pv ~ n / (eps^2 T); with T = Omega(n^2) this is O(1 / (eps^2 n))
         # and the stored neighbor sets total O(eps^-2 n) words.
@@ -81,30 +83,39 @@ class FourCycleArbitraryOnePass:
 
         tracked_neighbors: Dict[Vertex, Set[Vertex]] = {}
 
-        for u, v in stream.edges():
-            f2_estimator.process_edge(u, v, delta=1)
-            for a, b in ((u, v), (v, u)):
-                if vertex_hash.bernoulli(a, vertex_prob):
-                    bucket = tracked_neighbors.setdefault(a, set())
-                    if b not in bucket:
-                        bucket.add(b)
-                        meter.add("tracked_neighbor_entries")
+        with telemetry.tracer.span("pass1:stream", kind="pass") as span:
+            for u, v in stream.edges():
+                f2_estimator.process_edge(u, v, delta=1)
+                for a, b in ((u, v), (v, u)):
+                    if vertex_hash.bernoulli(a, vertex_prob):
+                        bucket = tracked_neighbors.setdefault(a, set())
+                        if b not in bucket:
+                            bucket.add(b)
+                            meter.add("tracked_neighbor_entries")
+            span.set("space_peak", meter.peak)
 
         # F1(z) over pairs inside the sampled vertex set
-        cap = 1.0 / self.epsilon
-        sampled = sorted(tracked_neighbors, key=repr)
-        f1_sum = 0.0
-        for i, u in enumerate(sampled):
-            neighbors_u = tracked_neighbors[u]
-            for v in sampled[i + 1 :]:
-                common = len(neighbors_u & tracked_neighbors[v])
-                if common:
-                    f1_sum += min(common, cap)
-        f1_hat = f1_sum / (vertex_prob**2) if vertex_prob > 0 else 0.0
+        with telemetry.tracer.span("post:f1-pairs", kind="phase"):
+            cap = 1.0 / self.epsilon
+            sampled = sorted(tracked_neighbors, key=repr)
+            f1_sum = 0.0
+            for i, u in enumerate(sampled):
+                neighbors_u = tracked_neighbors[u]
+                for v in sampled[i + 1 :]:
+                    common = len(neighbors_u & tracked_neighbors[v])
+                    if common:
+                        f1_sum += min(common, cap)
+            f1_hat = f1_sum / (vertex_prob**2) if vertex_prob > 0 else 0.0
 
         f2_hat = f2_estimator.estimate()
         meter.set("f2_counters", f2_estimator.space_items)
         estimate = max(0.0, (f2_hat - f1_hat) / 4.0)
+
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.sampled_vertices", len(sampled))
+            telemetry.metrics.set_gauge(
+                f"{self.name}.vertex_probability", vertex_prob
+            )
 
         details = {
             "f2_hat": f2_hat,

@@ -37,6 +37,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Set, Tuple
 
+from .. import obs as _obs
 from ..graphs.graph import Edge, Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
 from ..streams.meter import SpaceMeter
@@ -233,6 +234,7 @@ class FourCycleArbitraryThreePass:
     def run(self, stream: StreamSource) -> EstimateResult:
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()
+        telemetry = _obs.current()
         log_factor = math.log2(n) if self.use_log_factor else 1.0
         p = min(
             1.0,
@@ -250,32 +252,36 @@ class FourCycleArbitraryThreePass:
             {},
             {},
         )
-        for u, v in stream.edges():
-            edge = normalize_edge(u, v)
-            if edge_hash.bernoulli(edge, p):
-                s0_adj.setdefault(u, set()).add(v)
-                s0_adj.setdefault(v, set()).add(u)
-                meter.add("S0_edges")
-            for q_set, s_adj, q_hash in (
-                (q_sets[0], s_adjs[0], q1_hash),
-                (q_sets[1], s_adjs[1], q2_hash),
-            ):
-                hit = False
-                for w in (u, v):
-                    if q_hash.bernoulli(w, p):
-                        q_set.add(w)
-                        hit = True
-                if hit:
-                    s_adj.setdefault(u, set()).add(v)
-                    s_adj.setdefault(v, set()).add(u)
-                    meter.add("S1_S2_edges")
+        with telemetry.tracer.span("pass1:sample", kind="pass") as pass1_span:
+            for u, v in stream.edges():
+                edge = normalize_edge(u, v)
+                if edge_hash.bernoulli(edge, p):
+                    s0_adj.setdefault(u, set()).add(v)
+                    s0_adj.setdefault(v, set()).add(u)
+                    meter.add("S0_edges")
+                for q_set, s_adj, q_hash in (
+                    (q_sets[0], s_adjs[0], q1_hash),
+                    (q_sets[1], s_adjs[1], q2_hash),
+                ):
+                    hit = False
+                    for w in (u, v):
+                        if q_hash.bernoulli(w, p):
+                            q_set.add(w)
+                            hit = True
+                    if hit:
+                        s_adj.setdefault(u, set()).add(v)
+                        s_adj.setdefault(v, set()).add(u)
+                        meter.add("S1_S2_edges")
+            pass1_span.set("space_peak", meter.peak)
 
         # ---- pass 2: store cycles completed by three S0 edges --------
         stored: List[Tuple[Edge, Cycle]] = []
-        for a, b in stream.edges():
-            for cycle in self._completions(s0_adj, a, b):
-                stored.append(((a, b), cycle))
-                meter.add("stored_cycles")
+        with telemetry.tracer.span("pass2:store-cycles", kind="pass") as span:
+            for a, b in stream.edges():
+                for cycle in self._completions(s0_adj, a, b):
+                    stored.append(((a, b), cycle))
+                    meter.add("stored_cycles")
+            span.set("stored_cycles", len(stored))
 
         # ---- pass 3: classify every involved edge --------------------
         eta_sqrt_t = self.eta * math.sqrt(self.t_guess)
@@ -305,19 +311,21 @@ class FourCycleArbitraryThreePass:
                     edge_index.setdefault(w, []).append(oracle)
 
         if oracles:
-            for u, v in stream.edges():
-                f = normalize_edge(u, v)
-                seen: Set[Edge] = set()
-                for w in (u, v):
-                    for oracle in edge_index.get(w, ()):
-                        if oracle.edge == f or oracle.edge in seen:
-                            continue
-                        seen.add(oracle.edge)
-                        # f must share exactly one endpoint with e
-                        a, b = oracle.edge
-                        shared = (u in (a, b)) + (v in (a, b))
-                        if shared == 1:
-                            oracle.process_stream_edge(f)
+            with telemetry.tracer.span("pass3:classify", kind="pass") as span:
+                for u, v in stream.edges():
+                    f = normalize_edge(u, v)
+                    seen: Set[Edge] = set()
+                    for w in (u, v):
+                        for oracle in edge_index.get(w, ()):
+                            if oracle.edge == f or oracle.edge in seen:
+                                continue
+                            seen.add(oracle.edge)
+                            # f must share exactly one endpoint with e
+                            a, b = oracle.edge
+                            shared = (u in (a, b)) + (v in (a, b))
+                            if shared == 1:
+                                oracle.process_stream_edge(f)
+                span.set("num_oracles", len(oracles))
             passes = stream.passes_taken
         else:
             passes = stream.passes_taken  # oracle pass not needed
@@ -347,6 +355,12 @@ class FourCycleArbitraryThreePass:
             elif e_heavy and others_heavy == 0:
                 a1 += 1
         estimate = a0 / (4.0 * p**3) + a1 / (p**3)
+
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.inc(f"{self.name}.stored_cycles", len(stored))
+            metrics.inc(f"{self.name}.oracle_calls", len(oracles))
+            metrics.inc(f"{self.name}.heavy_edges", sum(heavy.values()))
 
         details = {
             "p": p,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Set, Tuple
 
+from .. import obs as _obs
 from ..graphs.graph import Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
 from ..streams.meter import SpaceMeter
@@ -68,19 +69,22 @@ class FourCycleDistinguisher:
 
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
+        telemetry = _obs.current()
         p = min(1.0, self.c / math.sqrt(self.t_guess))
         sample_hash = KWiseHash(k=2, seed=self.seed * 101 + 3)
 
         # ---- pass 1: sample edges, collect endpoint set V_S ----------
         sampled_vertices: Set[Vertex] = set()
         sampled_edges = 0
-        for u, v in stream.edges():
-            if sample_hash.bernoulli(normalize_edge(u, v), p):
-                sampled_edges += 1
-                for w in (u, v):
-                    if w not in sampled_vertices:
-                        sampled_vertices.add(w)
-                        meter.add("sampled_vertices")
+        with telemetry.tracer.span("pass1:sample", kind="pass") as span:
+            for u, v in stream.edges():
+                if sample_hash.bernoulli(normalize_edge(u, v), p):
+                    sampled_edges += 1
+                    for w in (u, v):
+                        if w not in sampled_vertices:
+                            sampled_vertices.add(w)
+                            meter.add("sampled_vertices")
+            span.set("sampled_vertices", len(sampled_vertices))
 
         # ---- pass 2: collect induced edges until a C4 appears --------
         cap = max(
@@ -89,24 +93,31 @@ class FourCycleDistinguisher:
         adjacency: Dict[Vertex, Set[Vertex]] = {}
         collected = 0
         witness: Tuple[Vertex, ...] = ()
-        for u, v in stream.edges():
-            if u not in sampled_vertices or v not in sampled_vertices:
-                continue
-            cycle = self._closes_four_cycle(adjacency, u, v)
-            if cycle:
-                witness = cycle
-                break
-            adjacency.setdefault(u, set()).add(v)
-            adjacency.setdefault(v, set()).add(u)
-            collected += 1
-            meter.add("induced_edges")
-            if collected > cap:
-                raise AssertionError(
-                    "collected more than 2|V_S|^{3/2} edges without a "
-                    "four-cycle — contradicts Lemma 5.4"
-                )
+        with telemetry.tracer.span("pass2:induced-search", kind="pass") as span:
+            for u, v in stream.edges():
+                if u not in sampled_vertices or v not in sampled_vertices:
+                    continue
+                cycle = self._closes_four_cycle(adjacency, u, v)
+                if cycle:
+                    witness = cycle
+                    break
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+                collected += 1
+                meter.add("induced_edges")
+                if collected > cap:
+                    raise AssertionError(
+                        "collected more than 2|V_S|^{3/2} edges without a "
+                        "four-cycle — contradicts Lemma 5.4"
+                    )
+            span.set("induced_edges", collected)
 
         found = bool(witness)
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.inc(f"{self.name}.sampled_edges", sampled_edges)
+            metrics.inc(f"{self.name}.induced_edges", collected)
+            metrics.inc(f"{self.name}.witness_found", int(found))
         details = {
             "found": found,
             "witness": witness,

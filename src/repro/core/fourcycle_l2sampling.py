@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from typing import List, Set
 
+from .. import obs as _obs
 from ..graphs.graph import Vertex, normalize_edge
 from ..sketches.l2_sampler import L2SamplerBank
 from ..sketches.wedge_f2 import WedgeF2Estimator
@@ -87,6 +88,7 @@ class FourCycleL2Sampling:
         if not isinstance(stream, AdjacencyListStream):
             raise TypeError("FourCycleL2Sampling requires an adjacency-list stream")
         meter = SpaceMeter()
+        telemetry = _obs.current()
         f2_estimator = WedgeF2Estimator(
             groups=self.groups, group_size=self.group_size, seed=self.seed * 389 + 1
         )
@@ -102,36 +104,46 @@ class FourCycleL2Sampling:
 
         vertices: Set[Vertex] = set()
         max_degree = 0
-        for vertex, neighbors in stream.adjacency_lists():
-            vertices.add(vertex)
-            vertices.update(neighbors)
-            max_degree = max(max_degree, len(neighbors))
-            meter.set("adjacency_buffer", len(neighbors))  # the O(Delta) buffer
-            f2_estimator.process_adjacency_list(vertex, neighbors)
-            ordered = sorted(neighbors, key=repr)
-            for i, u in enumerate(ordered):
-                for v in ordered[i + 1 :]:
-                    bank.update(normalize_edge(u, v))
+        with telemetry.tracer.span("pass1:sketch", kind="pass") as span:
+            for vertex, neighbors in stream.adjacency_lists():
+                vertices.add(vertex)
+                vertices.update(neighbors)
+                max_degree = max(max_degree, len(neighbors))
+                meter.set("adjacency_buffer", len(neighbors))  # the O(Delta) buffer
+                f2_estimator.process_adjacency_list(vertex, neighbors)
+                ordered = sorted(neighbors, key=repr)
+                for i, u in enumerate(ordered):
+                    for v in ordered[i + 1 :]:
+                        bank.update(normalize_edge(u, v))
+            span.set("space_peak", meter.peak)
 
-        f2_hat = f2_estimator.estimate()
-        ordered_vertices = sorted(vertices, key=repr)
-        candidates = [
-            normalize_edge(u, v)
-            for i, u in enumerate(ordered_vertices)
-            for v in ordered_vertices[i + 1 :]
-        ]
-        samples = bank.samples(candidates, f2_hat)
+        with telemetry.tracer.span("post:extract", kind="phase") as span:
+            f2_hat = f2_estimator.estimate()
+            ordered_vertices = sorted(vertices, key=repr)
+            candidates = [
+                normalize_edge(u, v)
+                for i, u in enumerate(ordered_vertices)
+                for v in ordered_vertices[i + 1 :]
+            ]
+            samples = bank.samples(candidates, f2_hat)
 
-        rng = random.Random(f"l2-coin-{self.seed}")
-        successes = 0
-        values: List[int] = []
-        for _pair, f_estimate in samples:
-            x_value = max(1, round(abs(f_estimate)))
-            values.append(x_value)
-            if rng.random() < (x_value - 1) / (4.0 * x_value):
-                successes += 1
-        ratio = successes / len(samples) if samples else 0.0
-        estimate = ratio * f2_hat
+            rng = random.Random(f"l2-coin-{self.seed}")
+            successes = 0
+            values: List[int] = []
+            for _pair, f_estimate in samples:
+                x_value = max(1, round(abs(f_estimate)))
+                values.append(x_value)
+                if rng.random() < (x_value - 1) / (4.0 * x_value):
+                    successes += 1
+            ratio = successes / len(samples) if samples else 0.0
+            estimate = ratio * f2_hat
+            span.set("num_samples", len(samples))
+
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.inc(f"{self.name}.l2_samples", len(samples))
+            metrics.inc(f"{self.name}.bernoulli_successes", successes)
+            metrics.set_gauge(f"{self.name}.sketch_saturation", bank.saturation)
 
         details = {
             "f2_hat": f2_hat,

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Tuple
 
+from .. import obs as _obs
 from ..graphs.graph import Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
 from ..sketches.wedge_f2 import WedgeF2Estimator
@@ -80,6 +81,7 @@ class FourCycleMoment:
             raise TypeError("FourCycleMoment requires an adjacency-list stream")
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()
+        telemetry = _obs.current()
 
         log_factor = math.log(n) if self.use_log_factor else 1.0
         pair_prob = min(
@@ -94,18 +96,20 @@ class FourCycleMoment:
 
         wedge_counters: Dict[Tuple[Vertex, Vertex], int] = {}
 
-        for vertex, neighbors in stream.adjacency_lists():
-            f2_estimator.process_adjacency_list(vertex, neighbors)
-            if pair_prob > 0:
-                ordered = sorted(neighbors, key=repr)
-                for i, u in enumerate(ordered):
-                    for v in ordered[i + 1 :]:
-                        pair = normalize_edge(u, v)
-                        if pair_hash.bernoulli(pair, pair_prob):
-                            if pair not in wedge_counters:
-                                wedge_counters[pair] = 0
-                                meter.add("pair_counters")
-                            wedge_counters[pair] += 1
+        with telemetry.tracer.span("pass1:moments", kind="pass") as span:
+            for vertex, neighbors in stream.adjacency_lists():
+                f2_estimator.process_adjacency_list(vertex, neighbors)
+                if pair_prob > 0:
+                    ordered = sorted(neighbors, key=repr)
+                    for i, u in enumerate(ordered):
+                        for v in ordered[i + 1 :]:
+                            pair = normalize_edge(u, v)
+                            if pair_hash.bernoulli(pair, pair_prob):
+                                if pair not in wedge_counters:
+                                    wedge_counters[pair] = 0
+                                    meter.add("pair_counters")
+                                wedge_counters[pair] += 1
+            span.set("space_peak", meter.peak)
 
         f2_hat = f2_estimator.estimate()
         cap = 1.0 / self.epsilon
@@ -115,6 +119,10 @@ class FourCycleMoment:
             else 0.0
         )
         estimate = max(0.0, (f2_hat - f1_hat) / 4.0)
+
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"{self.name}.sampled_pairs", len(wedge_counters))
+            telemetry.metrics.set_gauge(f"{self.name}.pair_probability", pair_prob)
 
         details = {
             "f2_hat": f2_hat,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..streams.meter import SpaceMeter
 
@@ -22,6 +22,12 @@ class EstimateResult:
         details: algorithm-specific diagnostics (heavy edge sets,
             per-level contributions, sample sizes, ...).  Purely
             informational — tests assert on a few stable keys.
+        wall_seconds: wall-clock duration of the producing ``run()``
+            (filled in by the trial engine; excluded from equality).
+        telemetry: the per-trial :class:`~repro.obs.session.TrialTelemetry`
+            capture when telemetry was active, else ``None`` (excluded
+            from equality; carried across process boundaries so the
+            parent can merge worker telemetry deterministically).
     """
 
     estimate: float
@@ -29,6 +35,8 @@ class EstimateResult:
     space: SpaceMeter
     algorithm: str
     details: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = field(default=0.0, compare=False, repr=False)
+    telemetry: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def space_items(self) -> int:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Set, Tuple
 
+from .. import obs as _obs
 from ..graphs.graph import Edge, Vertex, normalize_edge
 from ..sketches.hashing import KWiseHash
 from ..streams.meter import SpaceMeter
@@ -115,6 +116,7 @@ class TriangleRandomOrder:
         n = max(2, stream.num_vertices)
         m = stream.num_edges
         meter = SpaceMeter()
+        telemetry = _obs.current()
         if m == 0:
             return EstimateResult(0.0, 1, meter, self.name, {"empty": True})
 
@@ -148,76 +150,89 @@ class TriangleRandomOrder:
         potential_p: Set[Edge] = set()
 
         # ---------------- the single pass ------------------------------
-        for pos, (u, v) in enumerate(stream.edges(), start=1):
-            edge = normalize_edge(u, v)
-            for i in levels:
-                if pos <= prefix_len[i]:
-                    if level_hash[i].bernoulli(u, level_prob[i]) or level_hash[
-                        i
-                    ].bernoulli(v, level_prob[i]):
-                        _adj_add(level_adj[i], u, v)
-                        meter.add(f"level_{i}_edges")
-                elif edge not in potential_p and _common_neighbors(
-                    level_adj[i], u, v
-                ):
-                    potential_p.add(edge)
-                    meter.add("potential_heavy_P")
-            if pos <= s_len:
-                _adj_add(s_adj, u, v)
-                s_edges.append(edge)
-                meter.add("prefix_S")
-            elif edge not in candidates_c and _common_neighbors(s_adj, u, v):
-                candidates_c.add(edge)
-                meter.add("candidates_C")
+        with telemetry.tracer.span("pass1:stream", kind="pass") as pass_span:
+            for pos, (u, v) in enumerate(stream.edges(), start=1):
+                edge = normalize_edge(u, v)
+                for i in levels:
+                    if pos <= prefix_len[i]:
+                        if level_hash[i].bernoulli(u, level_prob[i]) or level_hash[
+                            i
+                        ].bernoulli(v, level_prob[i]):
+                            _adj_add(level_adj[i], u, v)
+                            meter.add(f"level_{i}_edges")
+                    elif edge not in potential_p and _common_neighbors(
+                        level_adj[i], u, v
+                    ):
+                        potential_p.add(edge)
+                        meter.add("potential_heavy_P")
+                if pos <= s_len:
+                    _adj_add(s_adj, u, v)
+                    s_edges.append(edge)
+                    meter.add("prefix_S")
+                elif edge not in candidates_c and _common_neighbors(s_adj, u, v):
+                    candidates_c.add(edge)
+                    meter.add("candidates_C")
 
-        # triangles entirely inside S were not visible while S was filling
-        for u, v in s_edges:
-            edge = (u, v)
-            if edge not in candidates_c and _common_neighbors(s_adj, u, v):
-                candidates_c.add(edge)
-                meter.add("candidates_C")
+            # triangles entirely inside S were not visible while S was filling
+            for u, v in s_edges:
+                edge = (u, v)
+                if edge not in candidates_c and _common_neighbors(s_adj, u, v):
+                    candidates_c.add(edge)
+                    meter.add("candidates_C")
+            pass_span.set("space_peak", meter.peak)
 
         # ---------------- post-processing ------------------------------
-        oracle_adj = level_adj[-1] if level_adj else {}
-        heavy_threshold = oracle_prob * sqrt_t
-        heavy_cache: Dict[Edge, bool] = {}
+        with telemetry.tracer.span("post:estimate", kind="phase"):
+            oracle_adj = level_adj[-1] if level_adj else {}
+            heavy_threshold = oracle_prob * sqrt_t
+            heavy_cache: Dict[Edge, bool] = {}
+            oracle_calls = 0
 
-        def oracle_count(u: Vertex, v: Vertex) -> int:
-            return len(_common_neighbors(oracle_adj, u, v))
+            def oracle_count(u: Vertex, v: Vertex) -> int:
+                return len(_common_neighbors(oracle_adj, u, v))
 
-        def is_heavy(u: Vertex, v: Vertex) -> bool:
-            edge = normalize_edge(u, v)
-            cached = heavy_cache.get(edge)
-            if cached is None:
-                cached = oracle_count(u, v) >= heavy_threshold
-                heavy_cache[edge] = cached
-            return cached
+            def is_heavy(u: Vertex, v: Vertex) -> bool:
+                nonlocal oracle_calls
+                edge = normalize_edge(u, v)
+                cached = heavy_cache.get(edge)
+                if cached is None:
+                    oracle_calls += 1
+                    cached = oracle_count(u, v) >= heavy_threshold
+                    heavy_cache[edge] = cached
+                return cached
 
-        # light part: T0_hat = X / (3 r^2), X = light wedges in S closed
-        # by a light edge of C
-        light_wedge_pairs = 0
-        for u, v in candidates_c:
-            if is_heavy(u, v):
-                continue
-            for w in _common_neighbors(s_adj, u, v):
-                if not is_heavy(u, w) and not is_heavy(v, w):
-                    light_wedge_pairs += 1
-        t0_hat = light_wedge_pairs / (3.0 * r_effective**2)
+            # light part: T0_hat = X / (3 r^2), X = light wedges in S closed
+            # by a light edge of C
+            light_wedge_pairs = 0
+            for u, v in candidates_c:
+                if is_heavy(u, v):
+                    continue
+                for w in _common_neighbors(s_adj, u, v):
+                    if not is_heavy(u, w) and not is_heavy(v, w):
+                        light_wedge_pairs += 1
+            t0_hat = light_wedge_pairs / (3.0 * r_effective**2)
 
-        # heavy part: each triangle of a caught heavy edge, weighted by
-        # 1/(1+j) with j = number of other heavy edges in it
-        heavy_sum = 0.0
-        heavy_caught = 0
-        for u, v in potential_p:
-            if not is_heavy(u, v):
-                continue
-            heavy_caught += 1
-            for w in _common_neighbors(oracle_adj, u, v):
-                other_heavy = int(is_heavy(u, w)) + int(is_heavy(v, w))
-                heavy_sum += 1.0 / (1 + other_heavy)
-        heavy_hat = heavy_sum / oracle_prob
+            # heavy part: each triangle of a caught heavy edge, weighted by
+            # 1/(1+j) with j = number of other heavy edges in it
+            heavy_sum = 0.0
+            heavy_caught = 0
+            for u, v in potential_p:
+                if not is_heavy(u, v):
+                    continue
+                heavy_caught += 1
+                for w in _common_neighbors(oracle_adj, u, v):
+                    other_heavy = int(is_heavy(u, w)) + int(is_heavy(v, w))
+                    heavy_sum += 1.0 / (1 + other_heavy)
+            heavy_hat = heavy_sum / oracle_prob
 
         estimate = t0_hat + heavy_hat
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.inc(f"{self.name}.candidates_C", len(candidates_c))
+            metrics.inc(f"{self.name}.potential_heavy_P", len(potential_p))
+            metrics.inc(f"{self.name}.heavy_promotions", heavy_caught)
+            metrics.inc(f"{self.name}.oracle_calls", oracle_calls)
+            metrics.observe(f"{self.name}.prefix_S_edges", len(s_edges))
         details = {
             "t0_hat": t0_hat,
             "heavy_hat": heavy_hat,

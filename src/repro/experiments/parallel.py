@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.result import EstimateResult
+from .. import obs as _obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -143,13 +145,45 @@ class TrialSpec:
     stream_seed: int
     algorithm_factory: Callable[[int], Any]
     stream_factory: Callable[[int], Any]
+    capture_telemetry: bool = False
 
 
 def execute_trial(spec: TrialSpec) -> EstimateResult:
-    """Run one trial (module-level so process pools can import it)."""
+    """Run one trial (module-level so process pools can import it).
+
+    The trial's wall-clock duration always lands in
+    ``result.wall_seconds``.  When ``spec.capture_telemetry`` is set,
+    the trial additionally runs inside a fresh telemetry session — in
+    the worker process or in-process, identically — and the picklable
+    capture is attached as ``result.telemetry`` for the parent to merge
+    in trial-index order.
+    """
     algorithm = spec.algorithm_factory(spec.algorithm_seed)
     stream = spec.stream_factory(spec.stream_seed)
-    return algorithm.run(stream)
+    if not spec.capture_telemetry:
+        start = time.perf_counter()
+        result = algorithm.run(stream)
+        result.wall_seconds = time.perf_counter() - start
+        return result
+    with _obs.capture(spec.index) as telemetry:
+        start = time.perf_counter()
+        with telemetry.tracer.span(
+            f"trial[{spec.index}]",
+            kind="trial",
+            algorithm_seed=spec.algorithm_seed,
+            stream_seed=spec.stream_seed,
+        ) as span:
+            result = algorithm.run(stream)
+            span.set("estimate", result.estimate)
+            span.set("passes", result.passes)
+            span.set("space_peak", result.space_items)
+            timeline = result.space.timeline(max_points=32)
+            if timeline:
+                span.set("space_timeline", timeline)
+        result.wall_seconds = time.perf_counter() - start
+        telemetry.metrics.observe("trial.space_items", result.space_items)
+    result.telemetry = telemetry.export(spec.index)
+    return result
 
 
 class ParallelTrialRunner:
@@ -174,7 +208,12 @@ class ParallelTrialRunner:
         stream_factory: Callable[[int], Any],
         trials: int,
         base_seed: int = 0,
+        capture_telemetry: Optional[bool] = None,
     ) -> List[EstimateResult]:
+        """Execute the trials; ``capture_telemetry=None`` follows the
+        caller's active telemetry session (off → no capture)."""
+        if capture_telemetry is None:
+            capture_telemetry = _obs.current().enabled
         specs = [
             TrialSpec(
                 index=i,
@@ -182,6 +221,7 @@ class ParallelTrialRunner:
                 stream_seed=stream_seed,
                 algorithm_factory=algorithm_factory,
                 stream_factory=stream_factory,
+                capture_telemetry=capture_telemetry,
             )
             for i, (algorithm_seed, stream_seed) in enumerate(
                 seed_schedule(base_seed, trials)

@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List
 
 from ..core.result import EstimateResult
+from .. import obs as _obs
 from ..sketches.estimators import median
 from ..streams.models import StreamSource
-from .parallel import ParallelTrialRunner
+from .parallel import ParallelTrialRunner, SeededFactory
 
 AlgorithmFactory = Callable[[int], Any]  # seed -> algorithm with .run()
 StreamFactory = Callable[[int], StreamSource]  # seed -> fresh stream
@@ -30,10 +31,21 @@ class TrialStats:
     space_items: List[int]
     passes: int
     results: List[EstimateResult] = field(repr=False, default_factory=list)
+    wall_seconds: List[float] = field(repr=False, default_factory=list)
 
     @property
     def trials(self) -> int:
         return len(self.estimates)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(self.wall_seconds)
+
+    @property
+    def median_wall_seconds(self) -> float:
+        if not self.wall_seconds:
+            return 0.0
+        return median(self.wall_seconds)
 
     @property
     def median_estimate(self) -> float:
@@ -104,26 +116,58 @@ def run_trials(
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    telemetry = _obs.current()
     runner = ParallelTrialRunner(n_jobs=n_jobs)
-    results: List[EstimateResult] = runner.run(
-        algorithm_factory, stream_factory, trials=trials, base_seed=base_seed
-    )
+    with telemetry.tracer.span(
+        "run_trials", kind="runner", trials=trials, base_seed=base_seed
+    ):
+        results: List[EstimateResult] = runner.run(
+            algorithm_factory, stream_factory, trials=trials, base_seed=base_seed
+        )
+        # Fold per-trial captures back in — always in trial index order,
+        # which is what makes serial and parallel aggregation identical.
+        for result in results:
+            telemetry.absorb(result.telemetry)
+            result.telemetry = None
     estimates = [result.estimate for result in results]
     spaces = [result.space_items for result in results]
+    walls = [result.wall_seconds for result in results]
     pass_counts = {result.passes for result in results}
     if len(pass_counts) != 1:
+        majority = max(pass_counts, key=lambda p: sum(r.passes == p for r in results))
+        offenders = [i for i, r in enumerate(results) if r.passes != majority]
         raise RuntimeError(
             "trials disagree on the number of stream passes "
-            f"({sorted(pass_counts)}); every trial of one algorithm must "
-            "use the same pass budget — this indicates a seed-dependent "
+            f"({sorted(pass_counts)}); trial(s) {offenders} deviate from the "
+            f"majority pass count {majority}.  Every trial of one algorithm "
+            "must use the same pass budget — this indicates a seed-dependent "
             "control-flow bug in the algorithm under test"
         )
+    passes = pass_counts.pop()
+    if telemetry.enabled:
+        payload: Dict[str, Any] = {
+            "trials": trials,
+            "base_seed": base_seed,
+            "n_jobs": n_jobs,
+            "truth": truth,
+            "passes": passes,
+            "algorithm": results[0].algorithm,
+            "estimates": estimates,
+            "space_items": spaces,
+            "wall_seconds": walls,
+        }
+        if isinstance(algorithm_factory, SeededFactory):
+            for key in ("epsilon", "t_guess"):
+                if key in algorithm_factory.kwargs:
+                    payload[key] = algorithm_factory.kwargs[key]
+        telemetry.record_run("run_trials", payload)
     return TrialStats(
         truth=truth,
         estimates=estimates,
         space_items=spaces,
-        passes=pass_counts.pop(),
+        passes=passes,
         results=results,
+        wall_seconds=walls,
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
+from .. import obs as _obs
 from ..baselines import CormodeJowhariTriangles
 from ..core import (
     FourCycleAdjacencyDiamond,
@@ -269,4 +270,21 @@ def run_experiment(
             f"no light experiment {experiment_id!r}; available: {available} "
             "(the full set lives in benchmarks/)"
         )
-    return SUITE[key].run(seed, n_jobs=n_jobs)
+    experiment = SUITE[key]
+    telemetry = _obs.current()
+    with telemetry.tracer.span(
+        f"experiment:{key}", kind="experiment", seed=seed, n_jobs=n_jobs
+    ):
+        records = experiment.run(seed, n_jobs=n_jobs)
+    if telemetry.enabled:
+        telemetry.record_run(
+            f"experiment:{key}",
+            {
+                "experiment": key,
+                "title": experiment.title,
+                "seed": seed,
+                "n_jobs": n_jobs,
+                "records": records,
+            },
+        )
+    return records

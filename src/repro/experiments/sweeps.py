@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from .. import obs as _obs
+
 
 @dataclass
 class SweepPoint:
@@ -41,6 +43,37 @@ class SweepResult:
         return loglog_slope(xs, ys)
 
 
+@dataclass(frozen=True)
+class _SweepTask:
+    """Picklable per-point worker: runs ``measure`` under a fresh
+    telemetry capture (when the parent session is active) so sweep
+    points fanned across processes report the same spans and metrics
+    as a serial sweep."""
+
+    index: int
+    parameter_name: str
+    parameter: float
+    measure: Callable[[float], Dict[str, float]]
+    capture_telemetry: bool = False
+
+    def __call__(self, _: object = None) -> Tuple[Dict[str, float], object]:
+        if not self.capture_telemetry:
+            return self.measure(self.parameter), None
+        with _obs.capture(self.index) as telemetry:
+            with telemetry.tracer.span(
+                f"point[{self.index}]",
+                kind="sweep-point",
+                parameter=self.parameter_name,
+                value=self.parameter,
+            ):
+                output = self.measure(self.parameter)
+        return output, telemetry.export(self.index)
+
+
+def _run_sweep_task(task: "_SweepTask") -> Tuple[Dict[str, float], object]:
+    return task()
+
+
 def run_sweep(
     parameter_name: str,
     values: Sequence[float],
@@ -53,13 +86,33 @@ def run_sweep(
     process pool when ``measure`` is picklable (a module-level function
     or :class:`~repro.experiments.parallel.SeededFactory`-style
     callable); the point order in the result is always the input order.
+
+    When a telemetry session is active each point runs inside its own
+    capture, and the captures are merged back in point order — so the
+    aggregated metrics and span tree are identical for any ``n_jobs``.
     """
     from .parallel import parallel_map
 
-    outputs = parallel_map(measure, list(values), n_jobs=n_jobs)
+    telemetry = _obs.current()
+    tasks = [
+        _SweepTask(
+            index=i,
+            parameter_name=parameter_name,
+            parameter=value,
+            measure=measure,
+            capture_telemetry=telemetry.enabled,
+        )
+        for i, value in enumerate(values)
+    ]
+    with telemetry.tracer.span(
+        f"sweep:{parameter_name}", kind="sweep", points=len(tasks)
+    ):
+        results = parallel_map(_run_sweep_task, tasks, n_jobs=n_jobs)
+        for _, capture in results:
+            telemetry.absorb(capture)
     points = [
-        SweepPoint(parameter=value, outputs=output)
-        for value, output in zip(values, outputs)
+        SweepPoint(parameter=task.parameter, outputs=output)
+        for task, (output, _) in zip(tasks, results)
     ]
     return SweepResult(parameter_name=parameter_name, points=points)
 

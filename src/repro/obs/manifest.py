@@ -1,0 +1,123 @@
+"""Run manifests: everything needed to reproduce (or audit) a run.
+
+A :class:`RunManifest` snapshots the execution context once per
+telemetry session — git SHA, Python/numpy/platform versions, argv, the
+caller-supplied config (seeds, workload parameters, CLI flags) and the
+repo's recorded bench baselines — and then accumulates one *invocation*
+record per ``run_trials`` / suite / sweep call made inside the session.
+
+The manifest is the first record of every trace file, so a trace is
+self-describing: ``repro obs report`` prints its summary and the CI
+artifact carries provenance without any side channel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+def _find_upwards(filename: str) -> Optional[Path]:
+    """Look for ``filename`` from this file and the CWD up to root."""
+    starts = [Path(__file__).resolve().parent, Path.cwd()]
+    for start in starts:
+        for candidate_dir in (start, *start.parents):
+            candidate = candidate_dir / filename
+            if candidate.exists():
+                return candidate
+    return None
+
+
+def git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    git_dir = _find_upwards(".git")
+    if git_dir is None:
+        return "unknown"
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=git_dir.parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip()
+
+
+def bench_baselines() -> Dict[str, Any]:
+    """The repo's recorded perf baselines (``BENCH_engine.json``), if any."""
+    path = _find_upwards("BENCH_engine.json")
+    if path is None:
+        return {}
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+@dataclass
+class RunManifest:
+    """Provenance for one telemetry session."""
+
+    created_utc: str
+    git_sha: str
+    python: str
+    platform: str
+    numpy: str
+    cpu_count: int
+    argv: List[str]
+    config: Dict[str, Any] = field(default_factory=dict)
+    bench_baselines: Dict[str, Any] = field(default_factory=dict)
+    invocations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record_invocation(self, name: str, payload: Dict[str, Any]) -> None:
+        """Append one ``run_trials``/suite/CLI invocation's config."""
+        self.invocations.append({"invocation": name, **payload})
+
+    def as_record(self) -> Dict[str, Any]:
+        """The JSON-lines record (``type: manifest``)."""
+        return {
+            "type": "manifest",
+            "created_utc": self.created_utc,
+            "git_sha": self.git_sha,
+            "python": self.python,
+            "platform": self.platform,
+            "numpy": self.numpy,
+            "cpu_count": self.cpu_count,
+            "argv": self.argv,
+            "config": self.config,
+            "bench_baselines": self.bench_baselines,
+            "invocations": self.invocations,
+        }
+
+
+def collect_manifest(config: Optional[Dict[str, Any]] = None) -> RunManifest:
+    """Build a manifest for the current process and configuration."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return RunManifest(
+        created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_sha=git_sha(),
+        python=sys.version.split()[0],
+        platform=platform.platform(),
+        numpy=numpy_version,
+        cpu_count=os.cpu_count() or 1,
+        argv=list(sys.argv),
+        config=dict(config or {}),
+        bench_baselines=bench_baselines(),
+    )

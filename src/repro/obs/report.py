@@ -1,0 +1,247 @@
+"""Render a trace file (``repro obs report``) as plain-text tables.
+
+The report has three sections:
+
+1. **Manifest summary** — who/where/when the trace was produced;
+2. **Phase table** — span records grouped by their path with per-trial
+   indices collapsed (``.../trial[3]/pass1`` → ``.../trial[*]/pass1``),
+   showing count, wall/CPU time and peak space;
+3. **Budget check** — every ``type: run`` record's per-trial relative
+   errors against the theorem's epsilon (or an explicit override),
+   flagging trials whose error or space exceeded budget.
+
+Kept out of :mod:`repro.obs`'s eager imports: it pulls in
+:mod:`repro.experiments.reporting`, and ``repro.experiments`` itself
+imports :mod:`repro.obs` — the CLI imports this module lazily instead.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import format_table, print_experiment
+
+_INDEXED = re.compile(r"\[\d+\]")
+
+_MANIFEST_FIELDS = (
+    "created_utc",
+    "git_sha",
+    "python",
+    "numpy",
+    "platform",
+    "cpu_count",
+    "argv",
+    "config",
+)
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines trace file, skipping blank lines."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def normalize_path(path: str) -> str:
+    """Collapse per-instance indices so repeated phases group together."""
+    return _INDEXED.sub("[*]", path)
+
+
+def phase_rows(records: Sequence[Dict[str, Any]]) -> List[List[Any]]:
+    """Aggregate span records into phase-table rows, sorted by path."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        key = normalize_path(record.get("path", record.get("name", "?")))
+        group = groups.setdefault(
+            key,
+            {"kind": record.get("kind", ""), "n": 0, "wall": 0.0, "cpu": 0.0,
+             "space": None, "errors": 0},
+        )
+        group["n"] += 1
+        group["wall"] += record.get("wall_s", 0.0)
+        group["cpu"] += record.get("cpu_s", 0.0)
+        if "error" in record:
+            group["errors"] += 1
+        space = record.get("attrs", {}).get("space_peak")
+        if isinstance(space, (int, float)):
+            group["space"] = (
+                space if group["space"] is None else max(group["space"], space)
+            )
+    rows = []
+    for path in sorted(groups):
+        group = groups[path]
+        rows.append(
+            [
+                path,
+                group["kind"],
+                group["n"],
+                group["wall"],
+                group["wall"] / group["n"],
+                group["cpu"],
+                group["space"] if group["space"] is not None else "-",
+                group["errors"] or "",
+            ]
+        )
+    return rows
+
+
+def manifest_rows(manifest: Dict[str, Any]) -> List[List[str]]:
+    rows = []
+    for field in _MANIFEST_FIELDS:
+        if field not in manifest:
+            continue
+        value = manifest[field]
+        if isinstance(value, list):
+            value = " ".join(str(item) for item in value)
+        elif isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        rows.append([field, str(value)])
+    baselines = manifest.get("bench_baselines") or {}
+    if baselines:
+        rows.append(["bench_baselines", ", ".join(sorted(baselines))])
+    for invocation in manifest.get("invocations", []):
+        name = invocation.get("invocation", "?")
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(invocation.items())
+            if key != "invocation"
+        )
+        rows.append([f"invocation:{name}", detail])
+    return rows
+
+
+def budget_rows(
+    run: Dict[str, Any],
+    error_budget: Optional[float] = None,
+    space_budget: Optional[float] = None,
+) -> Tuple[List[List[Any]], int]:
+    """Per-trial budget check rows for one ``type: run`` record.
+
+    Returns the rows and the number of flagged trials.  The error
+    budget defaults to the run's recorded epsilon (the theorem's
+    accuracy parameter); with neither, errors are shown but not
+    flagged.
+    """
+    truth = run.get("truth")
+    estimates = run.get("estimates", [])
+    spaces = run.get("space_items", [])
+    walls = run.get("wall_seconds", [])
+    budget = error_budget if error_budget is not None else run.get("epsilon")
+    rows: List[List[Any]] = []
+    flagged = 0
+    for index, estimate in enumerate(estimates):
+        rel_err: Any = "-"
+        if truth:
+            rel_err = abs(estimate - truth) / truth
+        space = spaces[index] if index < len(spaces) else "-"
+        wall = walls[index] if index < len(walls) else "-"
+        over_error = (
+            budget is not None and isinstance(rel_err, float) and rel_err > budget
+        )
+        over_space = (
+            space_budget is not None
+            and isinstance(space, (int, float))
+            and space > space_budget
+        )
+        flag = ""
+        if over_error:
+            flag += "ERROR>budget"
+        if over_space:
+            flag += (" " if flag else "") + "SPACE>budget"
+        if flag:
+            flagged += 1
+        rows.append([index, estimate, rel_err, space, wall, flag])
+    return rows, flagged
+
+
+def render_report(
+    records: Sequence[Dict[str, Any]],
+    error_budget: Optional[float] = None,
+    space_budget: Optional[float] = None,
+) -> int:
+    """Print the full report; returns the total number of flagged trials."""
+    manifests = [r for r in records if r.get("type") == "manifest"]
+    runs = [r for r in records if r.get("type") == "run"]
+    spans = [r for r in records if r.get("type") == "span"]
+
+    if manifests:
+        print_experiment(
+            "Run manifest", format_table(["field", "value"], manifest_rows(manifests[0]))
+        )
+    else:
+        print("(no manifest record in trace)")
+
+    if spans:
+        print_experiment(
+            "Per-phase timing / space",
+            format_table(
+                ["phase", "kind", "count", "wall_s", "mean_wall_s", "cpu_s",
+                 "space_peak", "errors"],
+                phase_rows(spans),
+            ),
+        )
+    else:
+        print("(no span records in trace)")
+
+    total_flagged = 0
+    for run in runs:
+        name = run.get("algorithm", run.get("invocation", "run"))
+        rows, flagged = budget_rows(run, error_budget, space_budget)
+        total_flagged += flagged
+        if not rows:
+            continue
+        title = f"Trial budget check: {name}"
+        budget = error_budget if error_budget is not None else run.get("epsilon")
+        if budget is not None:
+            title += f" (error budget {budget})"
+        print_experiment(
+            title,
+            format_table(
+                ["trial", "estimate", "rel_error", "space_items", "wall_s", "flag"],
+                rows,
+            ),
+        )
+        if flagged:
+            print(f"  !! {flagged} trial(s) exceeded budget")
+
+    metrics = [r for r in records if r.get("type") == "metrics"]
+    if metrics:
+        snapshot = metrics[-1].get("metrics", {})
+        rows = []
+        for name, value in snapshot.get("counters", {}).items():
+            rows.append([name, "counter", value])
+        for name, value in snapshot.get("gauges", {}).items():
+            rows.append([name, "gauge", value])
+        for name, summary in snapshot.get("histograms", {}).items():
+            count = summary.get("count", 0)
+            mean = summary.get("sum", 0.0) / count if count else 0.0
+            rows.append(
+                [
+                    name,
+                    "histogram",
+                    f"n={count} mean={mean:.4g} "
+                    f"min={summary.get('min', 0)} max={summary.get('max', 0)}",
+                ]
+            )
+        if rows:
+            print_experiment(
+                "Aggregated metrics", format_table(["metric", "kind", "value"], rows)
+            )
+    return total_flagged
+
+
+def report_file(
+    path: str,
+    error_budget: Optional[float] = None,
+    space_budget: Optional[float] = None,
+) -> int:
+    """Load ``path`` and render the report; returns flagged-trial count."""
+    return render_report(load_records(path), error_budget, space_budget)

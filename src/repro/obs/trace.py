@@ -1,0 +1,157 @@
+"""Hierarchical span tracing for experiments and streaming passes.
+
+A :class:`Tracer` records a tree of *spans* — timed regions with a
+kind, a name, and free-form attributes.  The canonical hierarchy is
+
+    experiment -> sweep_point -> trial -> pass -> phase
+
+but any nesting is allowed; spans carry their full slash-joined path
+(``experiment:E1/run_trials/trial[3]/pass1:stream``), so the record
+stream is flat JSON-lines while the hierarchy stays recoverable.
+
+Each completed span records wall time (``perf_counter``) and CPU time
+(``process_time``).  Timings are inherently nondeterministic, so they
+live only here — never in the :class:`~repro.obs.metrics.MetricsRegistry`
+— and equivalence checks between serial and parallel runs compare span
+*counts and paths*, not durations.
+
+Worker processes capture spans into their own tracer;
+:meth:`Tracer.absorb` grafts those records under the parent's current
+path in trial-index order, so ``n_jobs=1`` and ``n_jobs>1`` produce an
+identical span forest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class SpanHandle:
+    """The object a ``with tracer.span(...) as sp`` block receives.
+
+    ``sp.set(key, value)`` annotates the span after work has run —
+    e.g. peak space or the estimate, which are unknown at entry.
+    """
+
+    __slots__ = ("_tracer", "name", "kind", "attrs", "_path", "_wall0", "_cpu0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, kind: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+        self._path = ""
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "SpanHandle":
+        self._tracer._stack.append(self.name)
+        self._path = "/".join(self._tracer._stack)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        self._tracer._stack.pop()
+        record: Dict[str, Any] = {
+            "type": "span",
+            "kind": self.kind,
+            "name": self.name,
+            "path": self._path,
+            "wall_s": wall,
+            "cpu_s": cpu,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer.records.append(record)
+        return False
+
+
+class Tracer:
+    """Collects span records (completion order) with hierarchy via paths."""
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self.records: List[Dict[str, Any]] = []
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> SpanHandle:
+        """Open a span: ``with tracer.span("pass1:stream", kind="pass"):``."""
+        return SpanHandle(self, name, kind, attrs)
+
+    @property
+    def current_path(self) -> str:
+        """Slash-joined path of the currently open spans ('' at root)."""
+        return "/".join(self._stack)
+
+    def absorb(
+        self, records: Iterable[Dict[str, Any]], base_path: Optional[str] = None
+    ) -> None:
+        """Graft span records captured elsewhere under ``base_path``.
+
+        ``base_path`` defaults to the tracer's current open path, so a
+        runner that absorbs per-trial captures inside its own
+        ``run_trials`` span nests them correctly.  Records are appended
+        in the order given — callers iterate trials in index order to
+        keep serial and parallel traces identical.
+        """
+        if base_path is None:
+            base_path = self.current_path
+        for record in records:
+            grafted = dict(record)
+            if base_path:
+                grafted["path"] = f"{base_path}/{record['path']}"
+            self.records.append(grafted)
+
+    def span_count(self) -> int:
+        return len(self.records)
+
+
+class _NullSpanHandle:
+    """Reusable no-op span: one shared instance, zero allocations."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer:
+    """The disabled-telemetry tracer: spans are free no-ops."""
+
+    __slots__ = ()
+    records: List[Dict[str, Any]] = []  # always empty; do not mutate
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> _NullSpanHandle:
+        return NULL_SPAN
+
+    @property
+    def current_path(self) -> str:
+        return ""
+
+    def absorb(
+        self, records: Iterable[Dict[str, Any]], base_path: Optional[str] = None
+    ) -> None:
+        pass
+
+    def span_count(self) -> int:
+        return 0
+
+
+NULL_SPAN = _NullSpanHandle()
+NULL_TRACER = NullTracer()

@@ -126,6 +126,11 @@ class CountSketch:
         self._table += other._table
 
     @property
+    def saturation(self) -> float:
+        """Fraction of sketch buckets holding a nonzero value."""
+        return float(np.count_nonzero(self._table)) / self._table.size
+
+    @property
     def cache_entries(self) -> int:
         """Number of keys currently memoized in the (bucket, sign) cache."""
         return len(self._key_cache)

@@ -98,6 +98,10 @@ class L2Sampler:
     def space_items(self) -> int:
         return self._sketch.space_items
 
+    @property
+    def saturation(self) -> float:
+        return self._sketch.saturation
+
 
 class L2SamplerBank:
     """``count`` independent l2 samplers fed the same update stream."""
@@ -148,3 +152,10 @@ class L2SamplerBank:
     @property
     def space_items(self) -> int:
         return sum(sampler.space_items for sampler in self._samplers)
+
+    @property
+    def saturation(self) -> float:
+        """Mean bucket saturation across the bank's sketches."""
+        if not self._samplers:
+            return 0.0
+        return sum(s.saturation for s in self._samplers) / len(self._samplers)

@@ -28,6 +28,8 @@ class MisraGries:
         self.k = k
         self._counters: Dict[Hashable, int] = {}
         self._processed = 0
+        self._promotions = 0
+        self._decrement_rounds = 0
 
     def update(self, item: Hashable, count: int = 1) -> None:
         """Process ``count`` occurrences of ``item``."""
@@ -39,10 +41,12 @@ class MisraGries:
             return
         if len(self._counters) < self.k:
             self._counters[item] = count
+            self._promotions += 1
             return
         # decrement-all step; may need several rounds for count > 1
         remaining = count
         while remaining > 0:
+            self._decrement_rounds += 1
             decrement = min(remaining, min(self._counters.values()))
             remaining -= decrement
             for key in list(self._counters):
@@ -51,6 +55,7 @@ class MisraGries:
                     del self._counters[key]
             if remaining > 0 and len(self._counters) < self.k:
                 self._counters[item] = remaining
+                self._promotions += 1
                 remaining = 0
 
     def estimate(self, item: Hashable) -> int:
@@ -80,6 +85,16 @@ class MisraGries:
     def error_bound(self) -> float:
         """The maximum undercount: ``processed / (k + 1)``."""
         return self._processed / (self.k + 1)
+
+    @property
+    def promotions(self) -> int:
+        """How many items were granted a counter (first time or again)."""
+        return self._promotions
+
+    @property
+    def decrement_rounds(self) -> int:
+        """How many decrement-all rounds the summary performed."""
+        return self._decrement_rounds
 
     @property
     def space_items(self) -> int:

@@ -28,6 +28,7 @@ class ReservoirSampler(Generic[T]):
         self._rng = random.Random(seed)
         self._items: List[T] = []
         self._offered = 0
+        self._evictions = 0
 
     def add(self, item: T) -> Optional[T]:
         """Offer an item.
@@ -44,6 +45,7 @@ class ReservoirSampler(Generic[T]):
         if slot < self.capacity:
             evicted = self._items[slot]
             self._items[slot] = item
+            self._evictions += 1
             return evicted
         return item  # offered item rejected
 
@@ -62,6 +64,11 @@ class ReservoirSampler(Generic[T]):
     def offered(self) -> int:
         """Total items offered so far."""
         return self._offered
+
+    @property
+    def evictions(self) -> int:
+        """How many resident items were displaced by replacements."""
+        return self._evictions
 
 
 class UniformItemSampler(Generic[T]):

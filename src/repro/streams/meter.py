@@ -14,20 +14,44 @@ Usage::
     meter.set("counters", 3 * n)         # fixed-size counter bank
     meter.peak                            # max total items ever held
     meter.breakdown()                     # per-category peaks
+    meter.timeline()                      # (mutation_index, total) samples
+
+Mutations that belong to one logical step — e.g. rebuilding two
+categories where one shrinks before the other grows — can be wrapped in
+``with meter.step():`` so that intermediate states are not recorded as
+peaks (only the state at step exit counts).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 
 class SpaceMeter:
-    """Tracks the number of stored items, per named category and overall."""
+    """Tracks the number of stored items, per named category and overall.
 
-    def __init__(self) -> None:
-        self._current: Dict[str, int] = {}
-        self._peak_per_category: Dict[str, int] = {}
+    Besides the running peak, the meter keeps a decimated *timeline* of
+    ``(mutation_index, total_items)`` samples: every ``timeline_stride``-th
+    mutation is recorded, and when the buffer reaches
+    ``timeline_capacity`` samples it is thinned by half and the stride
+    doubled, so memory stays bounded while the full run remains covered.
+    Pass ``timeline_capacity=0`` to disable timeline recording entirely
+    (used by the telemetry-off overhead benchmark as the comparator).
+    """
+
+    DEFAULT_TIMELINE_CAPACITY = 512
+
+    def __init__(self, timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY) -> None:
+        self._current: dict = {}
+        self._peak_per_category: dict = {}
         self._peak_total = 0
+        self._current_total = 0
+        self._in_step = False
+        self._mutations = 0
+        self._timeline_capacity = timeline_capacity
+        self._timeline_stride = 1
+        self._timeline: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     def add(self, category: str, count: int = 1) -> None:
@@ -42,33 +66,78 @@ class SpaceMeter:
                 f"space meter for {category!r} went negative ({new_value})"
             )
         self._current[category] = new_value
+        self._current_total += count
         self._refresh(category)
 
     def set(self, category: str, count: int) -> None:
         """Set the live item count of ``category`` to an absolute value."""
         if count < 0:
             raise ValueError(f"space meter cannot be negative, got {count}")
+        self._current_total += count - self._current.get(category, 0)
         self._current[category] = count
         self._refresh(category)
 
+    @contextmanager
+    def step(self) -> Iterator["SpaceMeter"]:
+        """Group mutations into one logical step for peak accounting.
+
+        Inside the block, ``add``/``set`` update live counts but defer
+        peak (and timeline) updates to block exit, so a rebuild that
+        shrinks one category before growing another does not record a
+        phantom peak from an intermediate state that never co-existed
+        with the final one.  Steps do not nest (the outer step wins).
+        """
+        if self._in_step:
+            yield self
+            return
+        self._in_step = True
+        try:
+            yield self
+        finally:
+            self._in_step = False
+            for category, value in self._current.items():
+                if value > self._peak_per_category.get(category, 0):
+                    self._peak_per_category[category] = value
+            self._commit_total()
+
     def _refresh(self, category: str) -> None:
+        if self._in_step:
+            return
         value = self._current[category]
         if value > self._peak_per_category.get(category, 0):
             self._peak_per_category[category] = value
-        total = self.current
+        self._commit_total()
+
+    def _commit_total(self) -> None:
+        total = self._current_total
         if total > self._peak_total:
             self._peak_total = total
+        self._mutations += 1
+        if self._timeline_capacity <= 0:
+            return
+        if self._mutations % self._timeline_stride == 0:
+            self._timeline.append((self._mutations, total))
+            if len(self._timeline) >= self._timeline_capacity:
+                # Thin to every other sample; doubling the stride keeps
+                # future samples aligned with the survivors.
+                self._timeline = self._timeline[1::2]
+                self._timeline_stride *= 2
 
     # ------------------------------------------------------------------
     @property
     def current(self) -> int:
         """Total items held right now."""
-        return sum(self._current.values())
+        return self._current_total
 
     @property
     def peak(self) -> int:
         """Maximum total items held at any point so far."""
         return self._peak_total
+
+    @property
+    def mutations(self) -> int:
+        """Number of committed meter updates (steps count as one)."""
+        return self._mutations
 
     def current_of(self, category: str) -> int:
         return self._current.get(category, 0)
@@ -76,9 +145,25 @@ class SpaceMeter:
     def peak_of(self, category: str) -> int:
         return self._peak_per_category.get(category, 0)
 
-    def breakdown(self) -> Dict[str, int]:
+    def breakdown(self) -> dict:
         """Per-category peak item counts (a copy)."""
         return dict(self._peak_per_category)
+
+    def timeline(self, max_points: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Decimated ``(mutation_index, total_items)`` samples, in order.
+
+        ``max_points`` further downsamples the returned copy (evenly,
+        always keeping the last sample) — handy for embedding in span
+        attributes without bloating the trace file.
+        """
+        samples = list(self._timeline)
+        if max_points is not None and max_points > 0 and len(samples) > max_points:
+            stride = -(-len(samples) // max_points)  # ceil division
+            kept = samples[::stride]
+            if kept[-1] != samples[-1]:
+                kept.append(samples[-1])
+            samples = kept
+        return samples
 
     def merge(self, other: "SpaceMeter", prefix: str = "") -> None:
         """Fold another meter's peaks into this one (for sub-algorithms).
@@ -93,9 +178,9 @@ class SpaceMeter:
             self._peak_per_category[name] = (
                 self._peak_per_category.get(name, 0) + value
             )
-            self._current[name] = self._current.get(name, 0) + other._current.get(
-                category, 0
-            )
+            incoming = other._current.get(category, 0)
+            self._current[name] = self._current.get(name, 0) + incoming
+            self._current_total += incoming
         self._peak_total += other._peak_total
 
     def __repr__(self) -> str:

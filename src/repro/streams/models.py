@@ -22,6 +22,23 @@ from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Edge, Graph, Vertex, normalize_edge
+from .. import obs as _obs
+
+
+def _counting_tokens(tokens: Iterator[Edge], metric: str) -> Iterator[Edge]:
+    """Yield ``tokens`` while counting them into the active telemetry.
+
+    The count is emitted once, in a ``finally`` block, so the per-token
+    cost is a bare integer increment and early-terminated passes (an
+    algorithm breaking out of the stream) still report what they read.
+    """
+    consumed = 0
+    try:
+        for token in tokens:
+            consumed += 1
+            yield token
+    finally:
+        _obs.current().metrics.inc(metric, consumed)
 
 
 class StreamSource(ABC):
@@ -61,7 +78,11 @@ class StreamSource(ABC):
     def edges(self) -> Iterator[Edge]:
         """Begin a new pass and iterate its edge tokens."""
         self._passes += 1
-        return self._tokens()
+        telemetry = _obs.current()
+        if not telemetry.enabled:
+            return self._tokens()
+        telemetry.metrics.inc("stream.passes")
+        return _counting_tokens(self._tokens(), "stream.edges_consumed")
 
     def materialize(self) -> List[Edge]:
         """The token sequence of one pass, as a list (counts as a pass)."""
@@ -202,8 +223,17 @@ class AdjacencyListStream(StreamSource):
         neighbor list of each block is complete (degree-many entries).
         """
         self._passes += 1
-        for v, neighbors in self._lists:
-            yield v, list(neighbors)
+        telemetry = _obs.current()
+        if telemetry.enabled:
+            telemetry.metrics.inc("stream.passes")
+        tokens = 0
+        try:
+            for v, neighbors in self._lists:
+                tokens += len(neighbors)
+                yield v, list(neighbors)
+        finally:
+            if telemetry.enabled:
+                telemetry.metrics.inc("stream.edges_consumed", tokens)
 
     def reshuffled(self, seed: int) -> "AdjacencyListStream":
         """An independent adjacency-order instance of the same graph."""

@@ -76,6 +76,50 @@ class TestTrialStats:
             assert key in row
 
 
+class TestWallClock:
+    def test_per_trial_wall_seconds_recorded(self):
+        stats = run_trials(_FakeAlgorithm, _stream_factory, truth=100.0, trials=4)
+        assert len(stats.wall_seconds) == 4
+        assert all(seconds >= 0 for seconds in stats.wall_seconds)
+        assert stats.total_wall_seconds == pytest.approx(sum(stats.wall_seconds))
+        assert stats.median_wall_seconds >= 0
+
+    def test_empty_wall_seconds_defaults(self):
+        stats = TrialStats(
+            truth=1.0, estimates=[1.0], space_items=[1], passes=1
+        )
+        assert stats.total_wall_seconds == 0.0
+        assert stats.median_wall_seconds == 0.0
+
+
+class _PassesBySeedParity:
+    """Pathological: consecutive seeds alternate between 1 and 2 passes."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def run(self, stream):
+        list(stream.edges())
+        if self.seed % 2:
+            list(stream.edges())
+        return EstimateResult(1.0, stream.passes_taken, SpaceMeter(), "bad")
+
+
+class TestPassMismatchDiagnostics:
+    def test_error_names_offending_trials(self):
+        # seeds 0..4 -> parities 0,1,0,1,0 -> trials 1 and 3 take 2
+        # passes; the majority (3 of 5) is 1 pass, so the error must
+        # name trials [1, 3].
+        with pytest.raises(RuntimeError) as excinfo:
+            run_trials(
+                _PassesBySeedParity, _stream_factory, truth=1.0, trials=5, base_seed=0
+            )
+        message = str(excinfo.value)
+        assert "disagree on the number of stream passes" in message
+        assert "[1, 3]" in message
+        assert "majority pass count 1" in message
+
+
 class TestDecisionRate:
     def test_rate(self):
         assert decision_rate(lambda seed: seed % 2 == 0, trials=10) == 0.5

@@ -1,0 +1,96 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshot/merge."""
+
+import pickle
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("edges", 3)
+        registry.inc("edges")
+        assert registry.counter("edges").value == 4
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("edges", -1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("saturation", 0.25)
+        registry.set_gauge("saturation", 0.75)
+        assert registry.gauge("saturation").value == 0.75
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1, 5, 3):
+            registry.observe("space", value)
+        histogram = registry.histogram("space")
+        assert histogram.count == 3
+        assert histogram.mean == 3
+        assert histogram.as_dict() == {"count": 3, "sum": 9, "min": 1, "max": 5}
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_plain_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 4)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+
+    def test_merge_combines(self):
+        left = MetricsRegistry()
+        left.inc("c", 2)
+        left.observe("h", 1)
+        right = MetricsRegistry()
+        right.inc("c", 3)
+        right.observe("h", 9)
+        right.set_gauge("g", 0.5)
+        left.merge(right.snapshot())
+        assert left.counter("c").value == 5
+        assert left.gauge("g").value == 0.5
+        assert left.histogram("h").as_dict() == {
+            "count": 2,
+            "sum": 10,
+            "min": 1,
+            "max": 9,
+        }
+
+    def test_merge_order_invariance(self):
+        # The serial/parallel determinism guarantee rests on merges of
+        # the same captures producing the same registry.
+        captures = []
+        for i in range(3):
+            registry = MetricsRegistry()
+            registry.inc("c", i + 1)
+            registry.observe("h", 10 * (i + 1))
+            captures.append(registry.snapshot())
+        forward = MetricsRegistry()
+        for capture in captures:
+            forward.merge(capture)
+        backward = MetricsRegistry()
+        for capture in reversed(captures):
+            backward.merge(capture)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        assert list(registry.snapshot()["counters"]) == ["alpha", "zeta"]
+
+
+class TestNullMetrics:
+    def test_noop_interface(self):
+        NULL_METRICS.inc("x", 5)
+        NULL_METRICS.set_gauge("y", 1.0)
+        NULL_METRICS.observe("z", 2.0)
+        assert len(NULL_METRICS) == 0

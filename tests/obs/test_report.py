@@ -1,0 +1,134 @@
+"""The trace report: phase grouping, budget flags, end-to-end render."""
+
+from repro.obs.report import (
+    budget_rows,
+    load_records,
+    normalize_path,
+    phase_rows,
+    render_report,
+    report_file,
+)
+
+
+def _span(path, kind="pass", wall=0.5, cpu=0.4, attrs=None, error=None):
+    record = {
+        "type": "span",
+        "kind": kind,
+        "name": path.rsplit("/", 1)[-1],
+        "path": path,
+        "wall_s": wall,
+        "cpu_s": cpu,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    if error:
+        record["error"] = error
+    return record
+
+
+class TestNormalizePath:
+    def test_collapses_every_index(self):
+        assert (
+            normalize_path("run_trials/trial[3]/copy[12]/pass1")
+            == "run_trials/trial[*]/copy[*]/pass1"
+        )
+
+    def test_plain_path_unchanged(self):
+        assert normalize_path("experiment:E1/run_trials") == "experiment:E1/run_trials"
+
+
+class TestPhaseRows:
+    def test_groups_trials_and_aggregates(self):
+        records = [
+            _span("run/trial[0]/pass1", wall=1.0, attrs={"space_peak": 10}),
+            _span("run/trial[1]/pass1", wall=3.0, attrs={"space_peak": 30}),
+            _span("run/trial[1]/pass1", wall=2.0, error="ValueError"),
+        ]
+        (row,) = phase_rows(records)
+        path, kind, count, wall, mean_wall, _cpu, space, errors = row
+        assert path == "run/trial[*]/pass1"
+        assert count == 3
+        assert wall == 6.0
+        assert mean_wall == 2.0
+        assert space == 30  # max across the group
+        assert errors == 1
+
+    def test_ignores_non_span_records(self):
+        assert phase_rows([{"type": "metrics"}, {"type": "run"}]) == []
+
+
+class TestBudgetRows:
+    RUN = {
+        "type": "run",
+        "invocation": "run_trials",
+        "algorithm": "algo",
+        "truth": 100.0,
+        "epsilon": 0.3,
+        "estimates": [105.0, 160.0],
+        "space_items": [50, 80],
+        "wall_seconds": [0.01, 0.02],
+    }
+
+    def test_defaults_to_run_epsilon(self):
+        rows, flagged = budget_rows(self.RUN)
+        assert flagged == 1
+        assert rows[0][-1] == ""
+        assert rows[1][-1] == "ERROR>budget"
+
+    def test_explicit_budgets_override(self):
+        rows, flagged = budget_rows(self.RUN, error_budget=1.0, space_budget=60)
+        assert flagged == 1
+        assert rows[1][-1] == "SPACE>budget"
+
+    def test_both_flags_combine(self):
+        rows, flagged = budget_rows(self.RUN, error_budget=0.01, space_budget=10)
+        assert flagged == 2
+        assert rows[0][-1] == "ERROR>budget SPACE>budget"
+
+    def test_no_truth_no_flags(self):
+        rows, flagged = budget_rows({"estimates": [1.0], "epsilon": 0.1})
+        assert flagged == 0
+        assert rows[0][2] == "-"
+
+
+class TestEndToEnd:
+    def test_report_on_real_session(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "trace.jsonl"
+        with obs.session(path=str(path), config={"seed": 0}) as telemetry:
+            with telemetry.tracer.span("experiment:T", kind="experiment"):
+                with telemetry.tracer.span("trial[0]", kind="trial") as span:
+                    span.set("space_peak", 7)
+                telemetry.metrics.inc("stream.passes", 2)
+            telemetry.record_run(
+                "run_trials",
+                {
+                    "algorithm": "demo",
+                    "truth": 10.0,
+                    "epsilon": 0.5,
+                    "estimates": [11.0, 99.0],
+                    "space_items": [7, 7],
+                    "wall_seconds": [0.001, 0.001],
+                },
+            )
+        flagged = report_file(str(path))
+        out = capsys.readouterr().out
+        assert flagged == 1
+        assert "Run manifest" in out
+        assert "Per-phase timing / space" in out
+        assert "experiment:T/trial[*]" in out
+        assert "Trial budget check: demo" in out
+        assert "ERROR>budget" in out
+        assert "stream.passes" in out
+
+    def test_load_records_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "span"}\n\n{"type": "metrics"}\n')
+        assert len(load_records(str(path))) == 2
+
+    def test_render_empty_trace(self, capsys):
+        assert render_report([]) == 0
+        out = capsys.readouterr().out
+        assert "no manifest" in out
+        assert "no span records" in out

@@ -1,0 +1,111 @@
+"""Sessions (active-telemetry scoping, jsonl output) and manifests."""
+
+import json
+import pickle
+
+from repro import obs
+
+
+class TestCurrentAndSession:
+    def test_default_is_null(self):
+        telemetry = obs.current()
+        assert not telemetry.enabled
+        assert telemetry.records() == []
+
+    def test_session_activates_and_restores(self):
+        assert not obs.current().enabled
+        with obs.session(collect_env=False) as telemetry:
+            assert obs.current() is telemetry
+            assert telemetry.enabled
+        assert not obs.current().enabled
+
+    def test_sessions_nest(self):
+        with obs.session(collect_env=False) as outer:
+            with obs.session(collect_env=False) as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+    def test_writes_jsonl_on_exit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(path=str(path), config={"seed": 1}) as telemetry:
+            with telemetry.tracer.span("work", kind="phase"):
+                telemetry.metrics.inc("stream.edges_consumed", 10)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        kinds = [record["type"] for record in records]
+        assert kinds[0] == "manifest"
+        assert kinds[-1] == "metrics"
+        assert any(record["type"] == "span" for record in records)
+        metrics = records[-1]["metrics"]
+        assert metrics["counters"]["stream.edges_consumed"] == 10
+
+    def test_trace_written_even_on_error(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        try:
+            with obs.session(path=str(path), collect_env=False) as telemetry:
+                with telemetry.tracer.span("doomed"):
+                    raise RuntimeError("mid-run crash")
+        except RuntimeError:
+            pass
+        assert path.exists()
+        lines = path.read_text().splitlines()
+        assert any('"error": "RuntimeError"' in line for line in lines)
+
+
+class TestCaptureAbsorb:
+    def test_capture_exports_picklable(self):
+        with obs.capture(index=3) as telemetry:
+            with telemetry.tracer.span("trial[3]", kind="trial"):
+                telemetry.metrics.inc("c", 2)
+        export = telemetry.export(3)
+        restored = pickle.loads(pickle.dumps(export))
+        assert restored.index == 3
+        assert restored.metrics["counters"]["c"] == 2
+        assert restored.spans[0]["path"] == "trial[3]"
+
+    def test_absorb_none_is_noop(self):
+        with obs.session(collect_env=False) as telemetry:
+            telemetry.absorb(None)
+            assert telemetry.tracer.span_count() == 0
+
+    def test_absorb_merges_metrics_and_spans(self):
+        with obs.capture(index=0) as worker:
+            with worker.tracer.span("trial[0]", kind="trial"):
+                worker.metrics.inc("c", 5)
+        export = worker.export(0)
+        with obs.session(collect_env=False) as parent:
+            with parent.tracer.span("run_trials", kind="runner"):
+                parent.absorb(export)
+            assert parent.metrics.counter("c").value == 5
+            paths = [record["path"] for record in parent.tracer.records]
+            assert "run_trials/trial[0]" in paths
+
+
+class TestManifest:
+    def test_collect_manifest_fields(self):
+        manifest = obs.collect_manifest(config={"seed": 0})
+        record = manifest.as_record()
+        assert record["type"] == "manifest"
+        for key in ("created_utc", "git_sha", "python", "platform", "argv"):
+            assert key in record
+        assert record["config"] == {"seed": 0}
+
+    def test_record_run_lands_in_manifest_and_records(self):
+        with obs.session(config={"x": 1}) as telemetry:
+            telemetry.record_run(
+                "run_trials",
+                {"trials": 3, "estimates": [1.0, 2.0], "truth": 2.0},
+            )
+            records = telemetry.records()
+        runs = [record for record in records if record["type"] == "run"]
+        assert runs[0]["trials"] == 3
+        manifest = records[0]
+        (invocation,) = manifest["invocations"]
+        # list-valued payload entries are summarized away in the manifest
+        assert "estimates" not in invocation
+        assert invocation["trials"] == 3
+
+    def test_git_sha_resolves_in_this_repo(self):
+        sha = obs.git_sha()
+        assert sha == "unknown" or len(sha) >= 7

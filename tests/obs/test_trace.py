@@ -1,0 +1,74 @@
+"""Tracer: span nesting, paths, error capture, absorb grafting."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_nested_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="experiment"):
+            with tracer.span("inner", kind="pass"):
+                pass
+        # spans are recorded in completion order: inner closes first
+        inner, outer = tracer.records
+        assert inner["path"] == "outer/inner"
+        assert inner["kind"] == "pass"
+        assert outer["path"] == "outer"
+        assert outer["kind"] == "experiment"
+
+    def test_timings_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(1000))
+        record = tracer.records[0]
+        assert record["wall_s"] >= 0
+        assert record["cpu_s"] >= 0
+
+    def test_attrs_at_entry_and_set(self):
+        tracer = Tracer()
+        with tracer.span("p", kind="pass", seed=7) as span:
+            span.set("space_peak", 42)
+        attrs = tracer.records[0]["attrs"]
+        assert attrs == {"seed": 7, "space_peak": 42}
+
+    def test_error_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.records[0]["error"] == "ValueError"
+        assert tracer.current_path == ""
+
+    def test_absorb_grafts_under_current_path(self):
+        worker = Tracer()
+        with worker.span("trial[2]", kind="trial"):
+            with worker.span("pass1:stream", kind="pass"):
+                pass
+        parent = Tracer()
+        with parent.span("run_trials", kind="runner"):
+            parent.absorb(worker.records)
+        paths = [record["path"] for record in parent.records]
+        assert "run_trials/trial[2]/pass1:stream" in paths
+        assert "run_trials/trial[2]" in paths
+        assert parent.span_count() == 3
+
+    def test_absorb_at_root_keeps_paths(self):
+        worker = Tracer()
+        with worker.span("a"):
+            pass
+        parent = Tracer()
+        parent.absorb(worker.records)
+        assert parent.records[0]["path"] == "a"
+
+
+class TestNullTracer:
+    def test_noop_span(self):
+        with NULL_TRACER.span("x", kind="pass") as span:
+            span.set("anything", 1)
+        assert NULL_TRACER.span_count() == 0
+        assert NULL_TRACER.current_path == ""
+
+    def test_shared_handle_no_allocation(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -70,3 +70,97 @@ class TestSpaceMeter:
         meter = SpaceMeter()
         meter.add("a")
         assert meter.current == 1
+
+
+class TestStep:
+    def test_shrink_then_grow_records_no_phantom_peak(self):
+        # Rebuilding two categories inside one logical step: "a" shrinks
+        # before "b" grows.  Without step(), the transient state
+        # a=0,b=20 -> total 20 never co-existed with a=10 and must not
+        # become the peak; only the state at step exit counts.
+        meter = SpaceMeter()
+        meter.add("a", 10)
+        meter.add("b", 5)  # peak 15
+        with meter.step():
+            meter.set("a", 0)
+            meter.set("b", 12)
+        assert meter.current == 12
+        assert meter.peak == 15
+
+    def test_step_commits_final_state_as_peak(self):
+        meter = SpaceMeter()
+        with meter.step():
+            meter.add("a", 30)
+            meter.add("a", -10)
+        assert meter.peak == 20
+        assert meter.peak_of("a") == 20
+
+    def test_step_counts_as_one_mutation(self):
+        meter = SpaceMeter()
+        with meter.step():
+            for _ in range(10):
+                meter.add("a")
+        assert meter.mutations == 1
+
+    def test_nested_step_is_flat(self):
+        meter = SpaceMeter()
+        with meter.step():
+            with meter.step():
+                meter.add("a", 5)
+            meter.add("a", 5)
+        assert meter.peak == 10
+        assert meter.mutations == 1
+
+    def test_exception_inside_step_still_commits(self):
+        meter = SpaceMeter()
+        try:
+            with meter.step():
+                meter.add("a", 7)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert meter.peak == 7
+
+
+class TestTimeline:
+    def test_samples_every_mutation_initially(self):
+        meter = SpaceMeter()
+        for i in range(5):
+            meter.add("a")
+        assert meter.timeline() == [(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]
+
+    def test_bounded_buffer_decimates(self):
+        meter = SpaceMeter(timeline_capacity=8)
+        for _ in range(1000):
+            meter.add("a")
+        samples = meter.timeline()
+        assert len(samples) < 8
+        # monotonically increasing mutation indices, totals match indices
+        indices = [index for index, _total in samples]
+        assert indices == sorted(indices)
+        assert all(total == index for index, total in samples)
+
+    def test_disabled_capacity_records_nothing(self):
+        meter = SpaceMeter(timeline_capacity=0)
+        for _ in range(100):
+            meter.add("a")
+        assert meter.timeline() == []
+        assert meter.peak == 100  # peak accounting unaffected
+
+    def test_max_points_downsamples_keeping_last(self):
+        meter = SpaceMeter()
+        for _ in range(50):
+            meter.add("a")
+        samples = meter.timeline(max_points=4)
+        assert len(samples) <= 5
+        assert samples[-1] == meter.timeline()[-1]
+
+    def test_merge_keeps_current_total_consistent(self):
+        outer = SpaceMeter()
+        outer.add("a", 4)
+        inner = SpaceMeter()
+        inner.add("x", 6)
+        outer.merge(inner, prefix="sub_")
+        assert outer.current == 10
+        outer.add("a", 1)
+        assert outer.current == 11
