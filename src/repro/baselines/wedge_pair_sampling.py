@@ -54,7 +54,7 @@ class WedgePairSamplingFourCycles:
         self.seed = seed
 
     def run(self, stream: AdjacencyListStream) -> EstimateResult:
-        if not isinstance(stream, AdjacencyListStream):
+        if not getattr(stream, "provides_adjacency", False):
             raise TypeError("WedgePairSamplingFourCycles needs an adjacency-list stream")
         meter = SpaceMeter()
         telemetry = _obs.current()

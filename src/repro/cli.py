@@ -13,6 +13,11 @@ Commands:
 PATH`` to record a JSON-lines telemetry trace (spans, metrics, run
 manifest) that ``repro obs report PATH`` renders afterwards.
 
+``run-experiment`` and ``paper-table`` accept ``--checkpoint PATH`` to
+persist each completed unit of work atomically, and ``--resume`` to
+restart an interrupted run from that file — recomputing only the
+missing units, with byte-identical results (see docs/robustness.md).
+
 Examples::
 
     python -m repro generate diamond-mixture --out /tmp/g.txt
@@ -20,6 +25,7 @@ Examples::
     python -m repro estimate /tmp/g.txt --problem four-cycles \
         --model adjacency --epsilon 0.3 --trials 5
     python -m repro run-experiment E1 --trace /tmp/e1.jsonl
+    python -m repro run-experiment E16 --checkpoint /tmp/ck.jsonl --resume
     python -m repro obs report /tmp/e1.jsonl
 """
 
@@ -53,6 +59,7 @@ EXPERIMENT_INDEX = [
     ("E13", "cross-model frontier", "benchmarks/bench_e13_frontier.py"),
     ("E14", "error-vs-space frontier curves", "benchmarks/bench_e14_error_vs_space.py"),
     ("E15", "Section 4 tradeoff table", "benchmarks/bench_e15_adjacency_tradeoffs.py"),
+    ("E16", "robustness: error vs stream-fault rate", "src/repro/experiments/robustness.py"),
     ("A1", "ablations of design choices", "benchmarks/bench_a1_ablations.py"),
     ("A2", "median-boost amplification", "benchmarks/bench_a2_boosting.py"),
 ]
@@ -74,6 +81,34 @@ def _maybe_trace(args: argparse.Namespace):
         if key not in ("func",) and not callable(value)
     }
     return _obs.session(path=path, config=config)
+
+
+def _checkpoint_context(args: argparse.Namespace, key: str):
+    """A :class:`CheckpointContext` from ``--checkpoint``/``--resume``.
+
+    Returns the inactive context when no path was given.  ``key`` is
+    the run's config hash: resuming against a checkpoint recorded for
+    a different config/seed fails loudly instead of mixing results.
+    """
+    from .resilience.checkpoint import NULL_CHECKPOINT, Checkpoint, CheckpointContext
+
+    path = getattr(args, "checkpoint", None)
+    if not path:
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume requires --checkpoint PATH")
+        return NULL_CHECKPOINT
+    store = Checkpoint(path, key=key, resume=bool(getattr(args, "resume", False)))
+    return CheckpointContext(store)
+
+
+def _record_checkpoint_lineage(telemetry, checkpoint) -> None:
+    """Attach the checkpoint's resume lineage to the run manifest."""
+    lineage = checkpoint.lineage()
+    if lineage is None or not telemetry.enabled:
+        return
+    manifest = getattr(telemetry, "manifest", None)
+    if manifest is not None:
+        manifest.record_invocation("checkpoint", lineage)
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -196,27 +231,47 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 
 
 def _cmd_paper_table(args: argparse.Namespace) -> int:
-    from .experiments.paper_table import paper_table
+    from .experiments.paper_table import paper_table, paper_table_checkpoint_key
 
-    with _maybe_trace(args):
-        table = paper_table(seed=args.seed, trials=args.trials)
+    checkpoint = _checkpoint_context(
+        args, key=paper_table_checkpoint_key(args.seed, args.trials)
+    )
+    with _maybe_trace(args) as telemetry:
+        _record_checkpoint_lineage(telemetry, checkpoint)
+        table = paper_table(seed=args.seed, trials=args.trials, checkpoint=checkpoint)
     print("Section 1.1 contributions table, with measured columns")
     print(format_records(table))
     if getattr(args, "trace", None):
         print(f"trace written to {args.trace}")
+    if checkpoint.active:
+        print(
+            f"checkpoint {args.checkpoint}: {checkpoint.hits} row(s) resumed, "
+            f"{checkpoint.misses} computed"
+        )
     return 0
 
 
 def _cmd_run_experiment(args: argparse.Namespace) -> int:
-    from .experiments.suite import SUITE, run_experiment
+    from .experiments.suite import SUITE, experiment_checkpoint_key, run_experiment
 
-    with _maybe_trace(args):
-        records = run_experiment(args.id, seed=args.seed, n_jobs=args.jobs)
+    checkpoint = _checkpoint_context(
+        args, key=experiment_checkpoint_key(args.id, args.seed)
+    )
+    with _maybe_trace(args) as telemetry:
+        _record_checkpoint_lineage(telemetry, checkpoint)
+        records = run_experiment(
+            args.id, seed=args.seed, n_jobs=args.jobs, checkpoint=checkpoint
+        )
     experiment = SUITE[args.id.upper()]
     print(experiment.title)
     print(format_records(records))
     if getattr(args, "trace", None):
         print(f"trace written to {args.trace}")
+    if checkpoint.active:
+        print(
+            f"checkpoint {args.checkpoint}: {checkpoint.hits} unit(s) resumed, "
+            f"{checkpoint.misses} computed"
+        )
     return 0
 
 
@@ -305,6 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSON-lines telemetry trace (render with `repro obs report`)",
     )
+    table.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist each completed row to this file (atomic JSON lines)",
+    )
+    table.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint, recomputing only missing rows",
+    )
     table.set_defaults(func=_cmd_paper_table)
 
     run_exp = sub.add_parser(
@@ -323,6 +389,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSON-lines telemetry trace (render with `repro obs report`)",
+    )
+    run_exp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist each completed unit to this file (atomic JSON lines)",
+    )
+    run_exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint, recomputing only missing units",
     )
     run_exp.set_defaults(func=_cmd_run_experiment)
 

@@ -227,7 +227,7 @@ class FourCycleAdjacencyDiamond:
         return shifts
 
     def run(self, stream: AdjacencyListStream) -> EstimateResult:
-        if not isinstance(stream, AdjacencyListStream):
+        if not getattr(stream, "provides_adjacency", False):
             raise TypeError("FourCycleAdjacencyDiamond requires an adjacency-list stream")
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()

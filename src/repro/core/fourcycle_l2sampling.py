@@ -85,7 +85,7 @@ class FourCycleL2Sampling:
 
     # ------------------------------------------------------------------
     def run(self, stream: AdjacencyListStream) -> EstimateResult:
-        if not isinstance(stream, AdjacencyListStream):
+        if not getattr(stream, "provides_adjacency", False):
             raise TypeError("FourCycleL2Sampling requires an adjacency-list stream")
         meter = SpaceMeter()
         telemetry = _obs.current()

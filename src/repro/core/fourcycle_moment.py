@@ -77,7 +77,7 @@ class FourCycleMoment:
 
     # ------------------------------------------------------------------
     def run(self, stream: AdjacencyListStream) -> EstimateResult:
-        if not isinstance(stream, AdjacencyListStream):
+        if not getattr(stream, "provides_adjacency", False):
             raise TypeError("FourCycleMoment requires an adjacency-list stream")
         n = max(2, stream.num_vertices)
         meter = SpaceMeter()

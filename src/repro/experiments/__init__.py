@@ -7,16 +7,20 @@ from .groundtruth import cache_info, cached_ground_truth, clear_cache
 from .paper_table import paper_table
 from .parallel import (
     ParallelTrialRunner,
+    RetryPolicy,
     SeededFactory,
     TrialSpec,
+    derive_retry_seed,
     execute_trial,
     make_factory,
     parallel_map,
+    resolve_n_jobs,
     seed_schedule,
 )
 from .reporting import format_records, format_table, print_experiment
+from .robustness import FAULT_RATES, FaultedStreamFactory, robustness_records
 from .runner import TrialStats, decision_rate, run_trials
-from .suite import SUITE, Experiment, run_experiment
+from .suite import SUITE, Experiment, experiment_checkpoint_key, run_experiment
 from .sweeps import (
     SweepPoint,
     SweepResult,
@@ -34,12 +38,19 @@ __all__ = [
     "TrialStats",
     "run_trials",
     "ParallelTrialRunner",
+    "RetryPolicy",
     "SeededFactory",
     "TrialSpec",
+    "derive_retry_seed",
     "execute_trial",
     "make_factory",
     "parallel_map",
+    "resolve_n_jobs",
     "seed_schedule",
+    "FAULT_RATES",
+    "FaultedStreamFactory",
+    "robustness_records",
+    "experiment_checkpoint_key",
     "cached_ground_truth",
     "cache_info",
     "clear_cache",

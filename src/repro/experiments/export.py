@@ -2,7 +2,9 @@
 
 The benchmarks print ASCII tables for humans; this module writes the
 same record lists to files for plotting pipelines.  Kept dependency
-free (csv + json from the standard library).
+free (csv + json from the standard library).  All writes go through
+:func:`repro.resilience.atomic.atomic_write`, so an interrupted export
+never leaves a torn artifact behind.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ import csv
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Union
+
+from ..resilience.atomic import atomic_write
 
 PathLike = Union[str, Path]
 
@@ -27,7 +31,7 @@ def export_csv(records: Sequence[Dict[str, Any]], path: PathLike) -> int:
     leading = list(records[0].keys())
     extras = sorted({k for record in records for k in record} - set(leading))
     fieldnames = leading + extras
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with atomic_write(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         for record in records:
@@ -48,7 +52,7 @@ def export_json(
     if not records:
         raise ValueError("cannot export an empty record list")
     document = {"metadata": metadata or {}, "records": list(records)}
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path) as handle:
         json.dump(document, handle, indent=2, sort_keys=False, default=_coerce)
         handle.write("\n")
     return len(records)

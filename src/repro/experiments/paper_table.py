@@ -4,11 +4,15 @@ The paper's headline is a table of (model, passes, space, guarantee)
 cells.  This module regenerates it with two extra columns measured on
 each algorithm's standard light workload: median relative error and
 median space in words.  ``python -m repro paper-table`` prints it.
+
+Each theorem-row is one checkpoint unit, so ``--checkpoint/--resume``
+restarts an interrupted table at the first missing row and reproduces
+the rest byte-identically (every row is a pure function of the seed).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..core import (
     FourCycleAdjacencyDiamond,
@@ -18,6 +22,7 @@ from ..core import (
     FourCycleMoment,
     TriangleRandomOrder,
 )
+from ..resilience.checkpoint import NULL_CHECKPOINT, CheckpointContext, config_hash
 from ..streams import AdjacencyListStream, RandomOrderStream
 from .runner import decision_rate, run_trials
 from .workloads import build_workload
@@ -25,28 +30,39 @@ from .workloads import build_workload
 Record = Dict[str, Any]
 
 
-def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
+def paper_table_checkpoint_key(seed: int, trials: int) -> str:
+    """The config hash guarding a paper-table checkpoint file."""
+    return config_hash({"kind": "paper-table", "seed": seed, "trials": trials})
+
+
+def paper_table(
+    seed: int = 0,
+    trials: int = 3,
+    checkpoint: Optional[CheckpointContext] = None,
+) -> List[Record]:
     """Build the measured contributions table (takes ~a minute)."""
+    if checkpoint is None:
+        checkpoint = NULL_CHECKPOINT
     rows: List[Record] = []
 
     # -- Theorem 2.1: triangles, random order -------------------------
-    triangle_workload = build_workload(
-        "heavy-and-light-triangles",
-        n=900,
-        heavy_triangles=200,
-        light_triangles_count=80,
-    )
-    stats = run_trials(
-        lambda s: TriangleRandomOrder(
-            t_guess=triangle_workload.triangles, epsilon=0.3, seed=s
-        ),
-        lambda s: RandomOrderStream(triangle_workload.graph, seed=s),
-        truth=triangle_workload.triangles,
-        trials=trials,
-        base_seed=seed,
-    )
-    rows.append(
-        {
+    def _thm21() -> Record:
+        triangle_workload = build_workload(
+            "heavy-and-light-triangles",
+            n=900,
+            heavy_triangles=200,
+            light_triangles_count=80,
+        )
+        stats = run_trials(
+            lambda s: TriangleRandomOrder(
+                t_guess=triangle_workload.triangles, epsilon=0.3, seed=s
+            ),
+            lambda s: RandomOrderStream(triangle_workload.graph, seed=s),
+            truth=triangle_workload.triangles,
+            trials=trials,
+            base_seed=seed,
+        )
+        return {
             "result": "Thm 2.1",
             "problem": "triangles",
             "model": "random",
@@ -55,28 +71,29 @@ def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
             "measured_rel_err": round(stats.median_relative_error, 3),
             "measured_space": int(stats.median_space),
         }
-    )
+
+    rows.append(checkpoint.unit("paper-table:Thm2.1", _thm21))
 
     # -- Theorem 4.2: C4, adjacency, two passes ------------------------
-    diamond_workload = build_workload(
-        "diamond-mixture",
-        n=900,
-        large=(20,) * 4,
-        medium=(8,) * 8,
-        small=(3,) * 10,
-        noise_edges=200,
-    )
-    stats = run_trials(
-        lambda s: FourCycleAdjacencyDiamond(
-            t_guess=diamond_workload.four_cycles, epsilon=0.3, seed=s
-        ),
-        lambda s: AdjacencyListStream(diamond_workload.graph, seed=s),
-        truth=diamond_workload.four_cycles,
-        trials=trials,
-        base_seed=seed,
-    )
-    rows.append(
-        {
+    def _thm42() -> Record:
+        diamond_workload = build_workload(
+            "diamond-mixture",
+            n=900,
+            large=(20,) * 4,
+            medium=(8,) * 8,
+            small=(3,) * 10,
+            noise_edges=200,
+        )
+        stats = run_trials(
+            lambda s: FourCycleAdjacencyDiamond(
+                t_guess=diamond_workload.four_cycles, epsilon=0.3, seed=s
+            ),
+            lambda s: AdjacencyListStream(diamond_workload.graph, seed=s),
+            truth=diamond_workload.four_cycles,
+            trials=trials,
+            base_seed=seed,
+        )
+        return {
             "result": "Thm 4.2",
             "problem": "four-cycles",
             "model": "adjacency",
@@ -85,36 +102,28 @@ def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
             "measured_rel_err": round(stats.median_relative_error, 3),
             "measured_space": int(stats.median_space),
         }
-    )
+
+    rows.append(checkpoint.unit("paper-table:Thm4.2", _thm42))
 
     # -- Theorem 4.3a / 5.7: C4 one-pass on the dense regime -----------
-    dense_workload = build_workload("dense-gnp", n=45, p=0.5)
-    for result, model, space, factory in (
-        (
-            "Thm 4.3a",
-            "adjacency",
-            "Õ(ε⁻⁴n⁴/T²)",
-            lambda s: FourCycleMoment(
+    def _dense(result: str, model: str, space: str) -> Record:
+        dense_workload = build_workload("dense-gnp", n=45, p=0.5)
+        if result == "Thm 4.3a":
+            factory = lambda s: FourCycleMoment(  # noqa: E731
                 t_guess=dense_workload.four_cycles,
                 epsilon=0.2,
                 groups=7,
                 group_size=40,
                 seed=s,
-            ),
-        ),
-        (
-            "Thm 5.7",
-            "arbitrary",
-            "Õ(ε⁻²n)",
-            lambda s: FourCycleArbitraryOnePass(
+            )
+        else:
+            factory = lambda s: FourCycleArbitraryOnePass(  # noqa: E731
                 t_guess=dense_workload.four_cycles,
                 epsilon=0.2,
                 groups=7,
                 group_size=40,
                 seed=s,
-            ),
-        ),
-    ):
+            )
         stream_cls = AdjacencyListStream if model == "adjacency" else RandomOrderStream
         stats = run_trials(
             factory,
@@ -123,38 +132,46 @@ def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
             trials=trials,
             base_seed=seed,
         )
-        rows.append(
-            {
-                "result": result,
-                "problem": "four-cycles (T=Ω(n²))",
-                "model": model,
-                "passes": stats.passes,
-                "space": space,
-                "measured_rel_err": round(stats.median_relative_error, 3),
-                "measured_space": int(stats.median_space),
-            }
-        )
+        return {
+            "result": result,
+            "problem": "four-cycles (T=Ω(n²))",
+            "model": model,
+            "passes": stats.passes,
+            "space": space,
+            "measured_rel_err": round(stats.median_relative_error, 3),
+            "measured_space": int(stats.median_space),
+        }
+
+    for result, model, space in (
+        ("Thm 4.3a", "adjacency", "Õ(ε⁻⁴n⁴/T²)"),
+        ("Thm 5.7", "arbitrary", "Õ(ε⁻²n)"),
+    ):
+
+        def _measure(_result=result, _model=model, _space=space) -> Record:
+            return _dense(_result, _model, _space)
+
+        rows.append(checkpoint.unit(f"paper-table:{result}", _measure))
 
     # -- Theorem 5.3: C4, arbitrary order, three passes ----------------
-    medium_workload = build_workload(
-        "medium-diamonds", n=2000, diamond_size=10, count=40, noise_edges=400
-    )
-    stats = run_trials(
-        lambda s: FourCycleArbitraryThreePass(
-            t_guess=medium_workload.four_cycles,
-            epsilon=0.3,
-            eta=2.0,
-            c=0.6,
-            use_log_factor=False,
-            seed=s,
-        ),
-        lambda s: RandomOrderStream(medium_workload.graph, seed=s),
-        truth=medium_workload.four_cycles,
-        trials=trials,
-        base_seed=seed,
-    )
-    rows.append(
-        {
+    def _thm53() -> Record:
+        medium_workload = build_workload(
+            "medium-diamonds", n=2000, diamond_size=10, count=40, noise_edges=400
+        )
+        stats = run_trials(
+            lambda s: FourCycleArbitraryThreePass(
+                t_guess=medium_workload.four_cycles,
+                epsilon=0.3,
+                eta=2.0,
+                c=0.6,
+                use_log_factor=False,
+                seed=s,
+            ),
+            lambda s: RandomOrderStream(medium_workload.graph, seed=s),
+            truth=medium_workload.four_cycles,
+            trials=trials,
+            base_seed=seed,
+        )
+        return {
             "result": "Thm 5.3",
             "problem": "four-cycles",
             "model": "arbitrary",
@@ -163,21 +180,22 @@ def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
             "measured_rel_err": round(stats.median_relative_error, 3),
             "measured_space": int(stats.median_space),
         }
-    )
+
+    rows.append(checkpoint.unit("paper-table:Thm5.3", _thm53))
 
     # -- Theorem 5.6: distinguisher -------------------------------------
-    sparse_workload = build_workload(
-        "sparse-four-cycles", n=1000, num_cycles=150, noise_edges=200
-    )
-    rate = decision_rate(
-        lambda s: FourCycleDistinguisher(
-            t_guess=sparse_workload.four_cycles, c=3.0, seed=s
-        ).decide(RandomOrderStream(sparse_workload.graph, seed=s)),
-        trials=max(trials, 5),
-        base_seed=seed,
-    )
-    rows.append(
-        {
+    def _thm56() -> Record:
+        sparse_workload = build_workload(
+            "sparse-four-cycles", n=1000, num_cycles=150, noise_edges=200
+        )
+        rate = decision_rate(
+            lambda s: FourCycleDistinguisher(
+                t_guess=sparse_workload.four_cycles, c=3.0, seed=s
+            ).decide(RandomOrderStream(sparse_workload.graph, seed=s)),
+            trials=max(trials, 5),
+            base_seed=seed,
+        )
+        return {
             "result": "Thm 5.6",
             "problem": "0 vs T four-cycles",
             "model": "arbitrary",
@@ -186,5 +204,6 @@ def paper_table(seed: int = 0, trials: int = 3) -> List[Record]:
             "measured_rel_err": round(1.0 - rate, 3),  # miss rate
             "measured_space": "-",
         }
-    )
+
+    rows.append(checkpoint.unit("paper-table:Thm5.6", _thm56))
     return rows

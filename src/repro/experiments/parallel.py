@@ -22,19 +22,37 @@ thin, deterministic fan-out:
 * :class:`SeededFactory` adapts ``Class(**kwargs, seed=seed)``
   construction into a picklable factory so call sites can opt into real
   multi-process execution without writing one-off top-level functions.
+
+* :class:`RetryPolicy` arms the hardened execution path: per-trial
+  wall-clock timeouts, bounded retries with deterministically derived
+  seeds (:func:`derive_retry_seed`), recovery from worker crashes
+  (``BrokenProcessPool``) by re-executing only the failed specs
+  in-process, and a space-budget guard that *flags* over-budget trials
+  instead of aborting the sweep.  With the default (inactive) policy
+  the engine takes exactly the historical code path, so fault-free
+  serial and parallel runs stay bit-identical.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.result import EstimateResult
+from ..resilience.errors import (
+    SpaceBudgetExceeded,
+    TrialRetryError,
+    TrialTimeoutError,
+)
+from ..streams.meter import SpaceMeter
 from .. import obs as _obs
 
 T = TypeVar("T")
@@ -45,13 +63,25 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """Normalize an ``n_jobs`` request to a concrete worker count.
 
     ``None``, ``0`` and ``-1`` all mean "use every core"; positive
-    values are taken literally; anything else is rejected.
+    integers are taken literally; anything else — including ``True``/
+    ``False``, floats and strings — is rejected explicitly rather than
+    silently coerced.
     """
-    if n_jobs in (None, 0, -1):
+    if n_jobs is None:
+        return os.cpu_count() or 1
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, int):
+        raise TypeError(
+            f"n_jobs must be a positive int, or -1/0/None for all cores; "
+            f"got {n_jobs!r} of type {type(n_jobs).__name__}"
+        )
+    if n_jobs in (0, -1):
         return os.cpu_count() or 1
     if n_jobs < -1:
-        raise ValueError(f"n_jobs must be positive, -1/0/None, got {n_jobs}")
-    return int(n_jobs)
+        raise ValueError(
+            f"n_jobs must be a positive int, or -1/0/None for all cores; "
+            f"got {n_jobs}"
+        )
+    return n_jobs
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -135,10 +165,83 @@ def seed_schedule(base_seed: int, trials: int) -> List[Tuple[int, int]]:
     ]
 
 
+def derive_retry_seed(seed: int, attempt: int) -> int:
+    """The seed a retry attempt uses, derived deterministically.
+
+    Attempt 0 is the scheduled seed itself; attempt ``k > 0`` hashes
+    ``(seed, k)`` so retries explore fresh randomness without colliding
+    with any seed :func:`seed_schedule` could ever hand out, while the
+    whole retry chain stays reproducible from the base seed alone.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be non-negative, got {attempt}")
+    if attempt == 0:
+        return seed
+    digest = hashlib.sha256(f"retry:{seed}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:6], "big")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the hardened runner treats misbehaving trials.
+
+    Attributes:
+        max_retries: how many times a failing (raising or timed-out)
+            trial is re-attempted, each with :func:`derive_retry_seed`
+            seeds.  After the last attempt the original error is
+            re-raised (wrapped in :class:`TrialRetryError` /
+            :class:`TrialTimeoutError`).
+        timeout_seconds: per-trial wall-clock budget.  In pool mode a
+            trial that exceeds it is abandoned (its worker result is
+            discarded) and retried; in-process the trial cannot be
+            preempted, so the overrun is flagged post-hoc in
+            ``details["anomalies"]``.
+        space_budget_items: peak-space guard in the paper's word
+            measure.  An over-budget trial is *flagged*
+            (``details["space_budget_exceeded"]``), never aborted; an
+            algorithm that raises :class:`SpaceBudgetExceeded` mid-run
+            degrades to a flagged partial result.
+
+    The default policy is inactive: the engine takes the historical
+    code path, preserving bit-identical serial==parallel results.
+    """
+
+    max_retries: int = 0
+    timeout_seconds: Optional[float] = None
+    space_budget_items: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.space_budget_items is not None and self.space_budget_items < 1:
+            raise ValueError(
+                f"space_budget_items must be positive, got {self.space_budget_items}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.max_retries > 0
+            or self.timeout_seconds is not None
+            or self.space_budget_items is not None
+        )
+
+
 @dataclass(frozen=True)
 class TrialSpec:
     """One unit of trial work: everything a worker needs, picklable
-    whenever the factories are."""
+    whenever the factories are.
+
+    ``attempt`` is 0 for the scheduled run; retries carry 1, 2, ... and
+    the worker derives its effective seeds via :func:`derive_retry_seed`.
+    ``timeout_seconds`` / ``space_budget_items`` mirror the runner's
+    :class:`RetryPolicy` so the guard travels with the spec across the
+    process boundary.
+    """
 
     index: int
     algorithm_seed: int
@@ -146,6 +249,61 @@ class TrialSpec:
     algorithm_factory: Callable[[int], Any]
     stream_factory: Callable[[int], Any]
     capture_telemetry: bool = False
+    attempt: int = 0
+    timeout_seconds: Optional[float] = None
+    space_budget_items: Optional[int] = None
+
+
+def _mark_anomaly(result: EstimateResult, note: str) -> None:
+    result.details.setdefault("anomalies", []).append(note)
+
+
+def _guarded_run(algorithm: Any, stream: Any, spec: TrialSpec) -> EstimateResult:
+    """Run the algorithm; degrade a ``SpaceBudgetExceeded`` raise into a
+    flagged partial result instead of killing the whole sweep."""
+    try:
+        result = algorithm.run(stream)
+    except SpaceBudgetExceeded as exc:
+        meter = SpaceMeter()
+        items = getattr(exc, "space_items", None)
+        if items:
+            meter.set("over_budget", int(items))
+        result = EstimateResult(
+            estimate=float(getattr(exc, "partial_estimate", 0.0) or 0.0),
+            passes=int(getattr(exc, "passes", 0) or 0),
+            space=meter,
+            algorithm=getattr(algorithm, "name", type(algorithm).__name__),
+            details={"space_budget_exceeded": True, "partial": True},
+        )
+        _mark_anomaly(result, f"space budget aborted the trial: {exc}")
+    budget = spec.space_budget_items
+    if budget is not None and result.space_items > budget:
+        if not result.details.get("space_budget_exceeded"):
+            result.details["space_budget_exceeded"] = True
+            _mark_anomaly(
+                result,
+                f"space budget exceeded ({result.space_items} > {budget} items)",
+            )
+    return result
+
+
+def _finalize(result: EstimateResult, spec: TrialSpec, seeds: Tuple[int, int]) -> None:
+    if spec.attempt:
+        result.details["retry"] = {
+            "attempt": spec.attempt,
+            "algorithm_seed": seeds[0],
+            "stream_seed": seeds[1],
+        }
+        _mark_anomaly(result, f"retried (attempt {spec.attempt})")
+    if (
+        spec.timeout_seconds is not None
+        and result.wall_seconds > spec.timeout_seconds
+    ):
+        _mark_anomaly(
+            result,
+            f"wall clock {result.wall_seconds:.3f}s exceeded the "
+            f"{spec.timeout_seconds:.3f}s timeout (completed anyway)",
+        )
 
 
 def execute_trial(spec: TrialSpec) -> EstimateResult:
@@ -157,32 +315,42 @@ def execute_trial(spec: TrialSpec) -> EstimateResult:
     the worker process or in-process, identically — and the picklable
     capture is attached as ``result.telemetry`` for the parent to merge
     in trial-index order.
+
+    A non-zero ``spec.attempt`` (a retry) derives its effective seeds
+    with :func:`derive_retry_seed` and records them in
+    ``result.details["retry"]``.
     """
-    algorithm = spec.algorithm_factory(spec.algorithm_seed)
-    stream = spec.stream_factory(spec.stream_seed)
+    algorithm_seed = derive_retry_seed(spec.algorithm_seed, spec.attempt)
+    stream_seed = derive_retry_seed(spec.stream_seed, spec.attempt)
+    algorithm = spec.algorithm_factory(algorithm_seed)
+    stream = spec.stream_factory(stream_seed)
     if not spec.capture_telemetry:
         start = time.perf_counter()
-        result = algorithm.run(stream)
+        result = _guarded_run(algorithm, stream, spec)
         result.wall_seconds = time.perf_counter() - start
+        _finalize(result, spec, (algorithm_seed, stream_seed))
         return result
     with _obs.capture(spec.index) as telemetry:
         start = time.perf_counter()
         with telemetry.tracer.span(
             f"trial[{spec.index}]",
             kind="trial",
-            algorithm_seed=spec.algorithm_seed,
-            stream_seed=spec.stream_seed,
+            algorithm_seed=algorithm_seed,
+            stream_seed=stream_seed,
         ) as span:
-            result = algorithm.run(stream)
+            result = _guarded_run(algorithm, stream, spec)
             span.set("estimate", result.estimate)
             span.set("passes", result.passes)
             span.set("space_peak", result.space_items)
+            if spec.attempt:
+                span.set("attempt", spec.attempt)
             timeline = result.space.timeline(max_points=32)
             if timeline:
                 span.set("space_timeline", timeline)
         result.wall_seconds = time.perf_counter() - start
         telemetry.metrics.observe("trial.space_items", result.space_items)
     result.telemetry = telemetry.export(spec.index)
+    _finalize(result, spec, (algorithm_seed, stream_seed))
     return result
 
 
@@ -194,13 +362,29 @@ class ParallelTrialRunner:
     assigns, so ``ParallelTrialRunner(n_jobs=1)`` and ``n_jobs=8`` are
     bit-identical.  Non-picklable factories silently degrade to
     in-process execution (with a warning) — still correct, just serial.
+
+    Passing an active :class:`RetryPolicy` switches to the hardened
+    path: trials are submitted individually (not chunk-mapped) so each
+    can be timed out, retried with derived seeds, or — when a worker
+    process dies (``BrokenProcessPool``) — re-executed in-process.
+    Recovery events are appended to :attr:`last_events` and counted
+    into the active telemetry as ``runner.retries`` /
+    ``runner.timeouts`` / ``runner.worker_crashes`` /
+    ``runner.space_budget_flags``.
     """
 
-    def __init__(self, n_jobs: int = 1, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        chunksize: int = 1,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.n_jobs = resolve_n_jobs(n_jobs)
         if chunksize < 1:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
         self.chunksize = chunksize
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.last_events: List[Dict[str, Any]] = []
 
     def run(
         self,
@@ -214,6 +398,7 @@ class ParallelTrialRunner:
         caller's active telemetry session (off → no capture)."""
         if capture_telemetry is None:
             capture_telemetry = _obs.current().enabled
+        policy = self.retry
         specs = [
             TrialSpec(
                 index=i,
@@ -222,11 +407,162 @@ class ParallelTrialRunner:
                 algorithm_factory=algorithm_factory,
                 stream_factory=stream_factory,
                 capture_telemetry=capture_telemetry,
+                timeout_seconds=policy.timeout_seconds,
+                space_budget_items=policy.space_budget_items,
             )
             for i, (algorithm_seed, stream_seed) in enumerate(
                 seed_schedule(base_seed, trials)
             )
         ]
-        return parallel_map(
-            execute_trial, specs, n_jobs=self.n_jobs, chunksize=self.chunksize
+        if not policy.active:
+            # Historical fast path: chunk-mapped, zero bookkeeping —
+            # and trivially bit-identical to previous releases.
+            return parallel_map(
+                execute_trial, specs, n_jobs=self.n_jobs, chunksize=self.chunksize
+            )
+        self.last_events = []
+        results = self._run_hardened(specs)
+        flagged = sum(
+            1 for r in results if r.details.get("space_budget_exceeded")
         )
+        if flagged:
+            _obs.current().metrics.inc("runner.space_budget_flags", flagged)
+        return results
+
+    # -- hardened path ---------------------------------------------------
+    def _event(self, kind: str, spec: TrialSpec, detail: str) -> None:
+        self.last_events.append(
+            {
+                "kind": kind,
+                "trial": spec.index,
+                "attempt": spec.attempt,
+                "detail": detail,
+            }
+        )
+
+    def _attempts_left(self, spec: TrialSpec) -> bool:
+        return spec.attempt < self.retry.max_retries
+
+    def _retry_spec(self, spec: TrialSpec, reason: str) -> TrialSpec:
+        bumped = replace(spec, attempt=spec.attempt + 1)
+        self._event("retry", bumped, reason)
+        _obs.current().metrics.inc("runner.retries")
+        return bumped
+
+    def _run_inprocess(self, spec: TrialSpec) -> EstimateResult:
+        """Execute one spec here, applying the bounded retry loop."""
+        while True:
+            try:
+                return execute_trial(spec)
+            except Exception as exc:  # noqa: BLE001 — retried, then chained
+                if not self._attempts_left(spec):
+                    raise TrialRetryError(
+                        f"trial {spec.index} failed on attempt {spec.attempt} "
+                        f"(algorithm seed "
+                        f"{derive_retry_seed(spec.algorithm_seed, spec.attempt)}, "
+                        f"stream seed "
+                        f"{derive_retry_seed(spec.stream_seed, spec.attempt)}) "
+                        f"with no retries left: {exc!r}"
+                    ) from exc
+                spec = self._retry_spec(spec, repr(exc))
+
+    def _run_hardened(self, specs: List[TrialSpec]) -> List[EstimateResult]:
+        jobs = min(self.n_jobs, len(specs))
+        pool_eligible = jobs > 1 and len(specs) > 1
+        if pool_eligible and not all(_is_picklable(spec) for spec in specs):
+            warnings.warn(
+                "ParallelTrialRunner fell back to in-process execution: the "
+                "trial specs are not picklable (lambdas/closures cannot cross "
+                "process boundaries); use module-level callables or "
+                "SeededFactory for real parallelism",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            pool_eligible = False
+        results: Dict[int, EstimateResult] = {}
+        if not pool_eligible:
+            for spec in specs:
+                results[spec.index] = self._run_inprocess(spec)
+            return [results[i] for i in sorted(results)]
+        round_specs = specs
+        while round_specs:
+            round_specs = self._pool_round(round_specs, jobs, results)
+        return [results[i] for i in sorted(results)]
+
+    def _pool_round(
+        self,
+        round_specs: List[TrialSpec],
+        jobs: int,
+        results: Dict[int, EstimateResult],
+    ) -> List[TrialSpec]:
+        """Submit one round of specs to a fresh pool.
+
+        Returns the specs to run next round (retries).  Worker crashes
+        poison the whole pool (``BrokenProcessPool``), so every spec
+        not yet harvested is re-executed in-process — only the failed
+        work is redone, finished futures keep their results.
+        """
+        retry_next: List[TrialSpec] = []
+        recover_inprocess: List[TrialSpec] = []
+        timeout = self.retry.timeout_seconds
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(round_specs)))
+        broken = False
+        abandoned = False
+        try:
+            futures = [
+                (spec, executor.submit(execute_trial, spec)) for spec in round_specs
+            ]
+            for spec, future in futures:
+                if broken:
+                    # Pool already poisoned: keep finished results,
+                    # queue everything else for in-process recovery.
+                    if future.done() and not future.cancelled():
+                        try:
+                            results[spec.index] = future.result()
+                            continue
+                        except Exception:
+                            pass
+                    recover_inprocess.append(spec)
+                    continue
+                try:
+                    results[spec.index] = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    abandoned = True
+                    self._event(
+                        "timeout", spec, f"exceeded {timeout}s wall clock"
+                    )
+                    _obs.current().metrics.inc("runner.timeouts")
+                    if self._attempts_left(spec):
+                        retry_next.append(self._retry_spec(spec, "timeout"))
+                    else:
+                        raise TrialTimeoutError(
+                            f"trial {spec.index} exceeded its {timeout}s "
+                            f"timeout on attempt {spec.attempt} with no "
+                            "retries left"
+                        ) from None
+                except BrokenProcessPool:
+                    broken = True
+                    self._event(
+                        "worker_crash",
+                        spec,
+                        "process pool broke; recovering in-process",
+                    )
+                    _obs.current().metrics.inc("runner.worker_crashes")
+                    recover_inprocess.append(spec)
+                except Exception as exc:  # noqa: BLE001 — bounded retry
+                    if self._attempts_left(spec):
+                        retry_next.append(self._retry_spec(spec, repr(exc)))
+                    else:
+                        raise TrialRetryError(
+                            f"trial {spec.index} failed on attempt "
+                            f"{spec.attempt} with no retries left: {exc!r}"
+                        ) from exc
+        finally:
+            # wait=False: a hung worker (the timeout case) must not
+            # block the sweep; its eventual result is discarded.
+            executor.shutdown(wait=not (broken or abandoned), cancel_futures=True)
+        for spec in recover_inprocess:
+            result = self._run_inprocess(spec)
+            _mark_anomaly(result, "re-executed in-process after a worker crash")
+            results[spec.index] = result
+        return retry_next

@@ -16,7 +16,7 @@ from ..core.result import EstimateResult
 from .. import obs as _obs
 from ..sketches.estimators import median
 from ..streams.models import StreamSource
-from .parallel import ParallelTrialRunner, SeededFactory
+from .parallel import ParallelTrialRunner, RetryPolicy, SeededFactory
 
 AlgorithmFactory = Callable[[int], Any]  # seed -> algorithm with .run()
 StreamFactory = Callable[[int], StreamSource]  # seed -> fresh stream
@@ -32,6 +32,10 @@ class TrialStats:
     passes: int
     results: List[EstimateResult] = field(repr=False, default_factory=list)
     wall_seconds: List[float] = field(repr=False, default_factory=list)
+    #: trial index -> anomaly notes (retries with their derived seeds,
+    #: timeout overruns, space-budget flags, crash recoveries); empty
+    #: for a fault-free run.
+    anomalies: Dict[int, List[str]] = field(repr=False, default_factory=dict)
 
     @property
     def trials(self) -> int:
@@ -102,6 +106,7 @@ def run_trials(
     trials: int = 9,
     base_seed: int = 0,
     n_jobs: int = 1,
+    retry: "RetryPolicy" = None,
 ) -> TrialStats:
     """Run ``trials`` independent (algorithm, stream) pairs.
 
@@ -113,11 +118,16 @@ def run_trials(
     ``None`` = all cores).  Every trial is a pure function of its seeds,
     so the stats are bit-identical for any ``n_jobs``; non-picklable
     factories (lambdas) degrade to in-process execution with a warning.
+
+    ``retry`` arms the hardened engine (timeouts, bounded retries with
+    derived seeds, worker-crash recovery, space-budget flagging — see
+    :class:`~repro.experiments.parallel.RetryPolicy`).  Trials that
+    needed intervention land in :attr:`TrialStats.anomalies`.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
     telemetry = _obs.current()
-    runner = ParallelTrialRunner(n_jobs=n_jobs)
+    runner = ParallelTrialRunner(n_jobs=n_jobs, retry=retry)
     with telemetry.tracer.span(
         "run_trials", kind="runner", trials=trials, base_seed=base_seed
     ):
@@ -132,9 +142,20 @@ def run_trials(
     estimates = [result.estimate for result in results]
     spaces = [result.space_items for result in results]
     walls = [result.wall_seconds for result in results]
-    pass_counts = {result.passes for result in results}
+    anomalies: Dict[int, List[str]] = {
+        i: list(result.details["anomalies"])
+        for i, result in enumerate(results)
+        if result.details.get("anomalies")
+    }
+    # Budget-aborted partials legitimately stopped early; exclude them
+    # from the pass-consistency invariant instead of calling the
+    # algorithm buggy for a fault the harness injected.
+    countable = [r for r in results if not r.details.get("partial")]
+    pass_counts = {result.passes for result in countable} or {0}
     if len(pass_counts) != 1:
-        majority = max(pass_counts, key=lambda p: sum(r.passes == p for r in results))
+        majority = max(
+            pass_counts, key=lambda p: sum(r.passes == p for r in countable)
+        )
         offenders = [i for i, r in enumerate(results) if r.passes != majority]
         raise RuntimeError(
             "trials disagree on the number of stream passes "
@@ -156,6 +177,8 @@ def run_trials(
             "space_items": spaces,
             "wall_seconds": walls,
         }
+        if anomalies:
+            payload["anomalies"] = {str(k): v for k, v in anomalies.items()}
         if isinstance(algorithm_factory, SeededFactory):
             for key in ("epsilon", "t_guess"):
                 if key in algorithm_factory.kwargs:
@@ -168,6 +191,7 @@ def run_trials(
         passes=passes,
         results=results,
         wall_seconds=walls,
+        anomalies=anomalies,
     )
 
 

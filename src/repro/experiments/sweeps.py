@@ -79,6 +79,7 @@ def run_sweep(
     values: Sequence[float],
     measure: Callable[[float], Dict[str, float]],
     n_jobs: int = 1,
+    checkpoint: "CheckpointContext" = None,
 ) -> SweepResult:
     """Evaluate ``measure`` at each parameter value.
 
@@ -90,29 +91,62 @@ def run_sweep(
     When a telemetry session is active each point runs inside its own
     capture, and the captures are merged back in point order — so the
     aggregated metrics and span tree are identical for any ``n_jobs``.
+
+    An active ``checkpoint``
+    (:class:`~repro.resilience.checkpoint.CheckpointContext`) persists
+    every completed point's outputs; on resume, completed points are
+    served from the checkpoint file and only the remaining ones run.
+    Cached points carry no fresh telemetry capture (their spans were
+    recorded by the interrupted run).
     """
+    from ..resilience.checkpoint import NULL_CHECKPOINT, is_missing
     from .parallel import parallel_map
 
+    if checkpoint is None:
+        checkpoint = NULL_CHECKPOINT
     telemetry = _obs.current()
-    tasks = [
-        _SweepTask(
-            index=i,
-            parameter_name=parameter_name,
-            parameter=value,
-            measure=measure,
-            capture_telemetry=telemetry.enabled,
+
+    def _unit_name(i: int, value: float) -> str:
+        return f"sweep:{parameter_name}[{i}]={value!r}"
+
+    cached: Dict[int, Dict[str, float]] = {}
+    tasks: List[_SweepTask] = []
+    for i, value in enumerate(values):
+        hit = checkpoint.lookup(_unit_name(i, value))
+        if not is_missing(hit):
+            cached[i] = hit
+            checkpoint.hits += 1
+            telemetry.metrics.inc("checkpoint.units_cached")
+            continue
+        tasks.append(
+            _SweepTask(
+                index=i,
+                parameter_name=parameter_name,
+                parameter=value,
+                measure=measure,
+                capture_telemetry=telemetry.enabled,
+            )
         )
-        for i, value in enumerate(values)
-    ]
     with telemetry.tracer.span(
-        f"sweep:{parameter_name}", kind="sweep", points=len(tasks)
+        f"sweep:{parameter_name}",
+        kind="sweep",
+        points=len(values),
+        cached_points=len(cached),
     ):
         results = parallel_map(_run_sweep_task, tasks, n_jobs=n_jobs)
-        for _, capture in results:
+        for task, (output, capture) in zip(tasks, results):
             telemetry.absorb(capture)
+            checkpoint.store(_unit_name(task.index, task.parameter), output)
+            if checkpoint.active:
+                checkpoint.misses += 1
+                telemetry.metrics.inc("checkpoint.units_run")
+    fresh = {task.index: output for task, (output, _) in zip(tasks, results)}
     points = [
-        SweepPoint(parameter=task.parameter, outputs=output)
-        for task, (output, _) in zip(tasks, results)
+        SweepPoint(
+            parameter=value,
+            outputs=cached[i] if i in cached else fresh[i],
+        )
+        for i, value in enumerate(values)
     ]
     return SweepResult(parameter_name=parameter_name, points=points)
 

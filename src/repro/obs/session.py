@@ -99,9 +99,17 @@ class Telemetry:
         return out
 
     def write_jsonl(self, path: str) -> int:
-        """Write this session as JSON lines; returns the record count."""
+        """Write this session as JSON lines; returns the record count.
+
+        The trace is written atomically (temp file + rename) so a crash
+        mid-write cannot leave a torn trace next to a valid run.
+        """
+        # Imported lazily: repro.obs must stay importable on its own
+        # (repro.resilience.checkpoint imports repro.obs).
+        from ..resilience.atomic import atomic_write
+
         records = self.records()
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_write(path) as handle:
             for record in records:
                 handle.write(json.dumps(record, default=repr) + "\n")
         return len(records)

@@ -1,4 +1,4 @@
-"""Stream models and space accounting."""
+"""Stream models, validation policies and space accounting."""
 
 from .file_stream import FileEdgeStream
 from .meter import SpaceMeter
@@ -16,6 +16,15 @@ from .models import (
     RandomOrderStream,
     StreamSource,
 )
+from .policies import (
+    POLICIES,
+    POLICY_REPAIR,
+    POLICY_SKIP,
+    POLICY_STRICT,
+    StreamFaultError,
+    check_policy,
+)
+from .validation import ValidatedStream
 
 __all__ = [
     "SpaceMeter",
@@ -24,6 +33,13 @@ __all__ = [
     "ArbitraryOrderStream",
     "RandomOrderStream",
     "AdjacencyListStream",
+    "ValidatedStream",
+    "POLICIES",
+    "POLICY_STRICT",
+    "POLICY_REPAIR",
+    "POLICY_SKIP",
+    "StreamFaultError",
+    "check_policy",
     "ORDER_FACTORIES",
     "stream_with_order",
     "sorted_order",

@@ -11,15 +11,28 @@ The file's line order is the arrival order — i.e. this is an
 *arbitrary order* stream.  For the random-order model, shuffle the
 file once offline (``repro.graphs.io.write_edge_list`` after a
 permutation) rather than in memory.
+
+Malformed lines are governed by the same validation policies as the
+in-memory models (:mod:`repro.streams.policies`): the default is
+``repair`` — drop self loops and (when ``deduplicate``) repeated edges,
+counting them into the active telemetry as ``stream.faults.<kind>`` —
+while ``strict`` raises :class:`StreamFaultError` on the first fault.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Set
+from typing import Dict, Iterator, Optional, Set
 
 from ..graphs.graph import Edge, normalize_edge
 from ..graphs.io import PathLike, iter_edge_list
 from .models import StreamSource
+from .policies import (
+    POLICY_REPAIR,
+    POLICY_STRICT,
+    StreamFaultError,
+    check_policy,
+    emit_fault_counts,
+)
 
 
 class FileEdgeStream(StreamSource):
@@ -27,11 +40,15 @@ class FileEdgeStream(StreamSource):
 
     Args:
         path: edge-list file (see :mod:`repro.graphs.io` for the format).
-        deduplicate: drop repeated edges and self loops while
-            streaming.  Requires O(m) memory for the filter; turn off
-            for clean data to stream in O(1) memory.
+        deduplicate: drop repeated edges while streaming.  Requires
+            O(m) memory for the filter; turn off for clean data to
+            stream in O(1) memory.
         precounted: optional ``(num_vertices, num_edges)`` if known,
             avoiding the initial counting pass.
+        policy: fault handling (``strict`` / ``repair`` / ``skip``);
+            under ``strict`` a self loop or duplicate raises
+            :class:`StreamFaultError` (duplicates only when
+            ``deduplicate`` is on, since detection needs the filter).
 
     The constructor takes one scan to count vertices/edges (algorithms
     need ``m`` up front, per the paper's convention) unless
@@ -43,10 +60,12 @@ class FileEdgeStream(StreamSource):
         path: PathLike,
         deduplicate: bool = True,
         precounted: Optional[tuple] = None,
+        policy: str = POLICY_REPAIR,
     ) -> None:
         super().__init__()
         self._path = path
         self._deduplicate = deduplicate
+        self._policy = check_policy(policy)
         if precounted is not None:
             self._num_vertices, self._num_edges = precounted
         else:
@@ -58,10 +77,19 @@ class FileEdgeStream(StreamSource):
         count = 0
         for u, v in iter_edge_list(self._path):
             if u == v:
+                if self._policy == POLICY_STRICT:
+                    raise StreamFaultError(
+                        f"self loop {u!r}-{u!r} in {self._path} (strict policy)"
+                    )
                 continue
             edge = normalize_edge(u, v)
             if self._deduplicate:
                 if edge in seen:
+                    if self._policy == POLICY_STRICT:
+                        raise StreamFaultError(
+                            f"duplicate edge {edge!r} in {self._path} "
+                            "(strict policy)"
+                        )
                     continue
                 seen.add(edge)
             count += 1
@@ -83,12 +111,28 @@ class FileEdgeStream(StreamSource):
 
     def _tokens(self) -> Iterator[Edge]:
         seen: Optional[Set[Edge]] = set() if self._deduplicate else None
-        for u, v in iter_edge_list(self._path):
-            if u == v:
-                continue
-            edge = normalize_edge(u, v)
-            if seen is not None:
-                if edge in seen:
+        counts: Dict[str, int] = {}
+        try:
+            for u, v in iter_edge_list(self._path):
+                if u == v:
+                    if self._policy == POLICY_STRICT:
+                        raise StreamFaultError(
+                            f"self loop {u!r}-{u!r} in {self._path} "
+                            "(strict policy)"
+                        )
+                    counts["self_loop"] = counts.get("self_loop", 0) + 1
                     continue
-                seen.add(edge)
-            yield edge
+                edge = normalize_edge(u, v)
+                if seen is not None:
+                    if edge in seen:
+                        if self._policy == POLICY_STRICT:
+                            raise StreamFaultError(
+                                f"duplicate edge {edge!r} in {self._path} "
+                                "(strict policy)"
+                            )
+                        counts["duplicate"] = counts.get("duplicate", 0) + 1
+                        continue
+                    seen.add(edge)
+                yield edge
+        finally:
+            emit_fault_counts(counts)

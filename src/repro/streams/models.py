@@ -23,6 +23,16 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Edge, Graph, Vertex, normalize_edge
 from .. import obs as _obs
+from .policies import (
+    POLICY_REPAIR,
+    POLICY_SKIP,
+    POLICY_STRICT,
+    StreamFaultError,
+    check_policy,
+    emit_fault_counts,
+    scrub_graph_edges,
+    scrub_neighbors,
+)
 
 
 def _counting_tokens(tokens: Iterator[Edge], metric: str) -> Iterator[Edge]:
@@ -71,6 +81,16 @@ class StreamSource(ABC):
         """How many passes have been started on this source."""
         return self._passes
 
+    @property
+    def provides_adjacency(self) -> bool:
+        """Whether this source yields vertex-grouped adjacency blocks.
+
+        Section 4 algorithms require adjacency semantics; decorators
+        (fault injection, validation) forward their base's answer, so
+        this — not an ``isinstance`` check — is the model test.
+        """
+        return False
+
     @abstractmethod
     def _tokens(self) -> Iterator[Edge]:
         """Yield the edge tokens of a single pass, in stream order."""
@@ -90,21 +110,47 @@ class StreamSource(ABC):
 
 
 class ArbitraryOrderStream(StreamSource):
-    """Edges presented in exactly the order given at construction."""
+    """Edges presented in exactly the order given at construction.
 
-    def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> None:
+    ``policy`` governs malformed input (see
+    :mod:`repro.streams.policies`): under ``strict`` (the default) a
+    self loop or duplicate edge raises :class:`StreamFaultError`;
+    ``repair``/``skip`` drop the faulty token, counting it into the
+    active telemetry as ``stream.faults.<kind>``.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        policy: str = POLICY_STRICT,
+    ) -> None:
         super().__init__()
+        check_policy(policy)
         self._edges: List[Edge] = []
         seen = set()
         vertices = set()
+        counts: dict = {}
         for u, v in edges:
+            if u == v:
+                if policy == POLICY_STRICT:
+                    raise StreamFaultError(
+                        f"self loop {u!r}-{u!r} in arbitrary-order stream"
+                    )
+                counts["self_loop"] = counts.get("self_loop", 0) + 1
+                continue
             edge = normalize_edge(u, v)
             if edge in seen:
-                raise ValueError(f"duplicate edge {edge!r} in arbitrary-order stream")
+                if policy == POLICY_STRICT:
+                    raise StreamFaultError(
+                        f"duplicate edge {edge!r} in arbitrary-order stream"
+                    )
+                counts["duplicate"] = counts.get("duplicate", 0) + 1
+                continue
             seen.add(edge)
             self._edges.append(edge)
             vertices.add(u)
             vertices.add(v)
+        emit_fault_counts(counts)
         self._num_vertices = len(vertices)
 
     @classmethod
@@ -132,13 +178,20 @@ class RandomOrderStream(StreamSource):
     The permutation is sampled once, at construction, from ``seed``;
     every pass replays it.  Use :meth:`reshuffled` to get an independent
     instance (a fresh permutation) for repeated trials.
+
+    ``policy`` governs self loops that a hand-built adjacency structure
+    may contain: ``strict`` (the default) raises
+    :class:`StreamFaultError` at construction, ``repair``/``skip``
+    drop and count them.
     """
 
-    def __init__(self, graph: Graph, seed: int = 0) -> None:
+    def __init__(self, graph: Graph, seed: int = 0, policy: str = POLICY_STRICT) -> None:
         super().__init__()
         self._graph = graph
         self._seed = seed
-        self._edges = graph.edge_list()
+        self._policy = check_policy(policy)
+        self._edges, counts = scrub_graph_edges(graph, policy)
+        emit_fault_counts(counts)
         random.Random(seed).shuffle(self._edges)
 
     @property
@@ -155,7 +208,7 @@ class RandomOrderStream(StreamSource):
 
     def reshuffled(self, seed: int) -> "RandomOrderStream":
         """An independent random-order instance of the same graph."""
-        return RandomOrderStream(self._graph, seed=seed)
+        return RandomOrderStream(self._graph, seed=seed, policy=self._policy)
 
     def _tokens(self) -> Iterator[Edge]:
         return iter(self._edges)
@@ -175,9 +228,11 @@ class AdjacencyListStream(StreamSource):
         graph: Graph,
         vertex_order: Optional[Sequence[Vertex]] = None,
         seed: int = 0,
+        policy: str = POLICY_STRICT,
     ) -> None:
         super().__init__()
         self._graph = graph
+        self._policy = check_policy(policy)
         rng = random.Random(seed)
         if vertex_order is None:
             order = sorted(graph.vertices(), key=repr)
@@ -188,11 +243,20 @@ class AdjacencyListStream(StreamSource):
                 raise ValueError("vertex_order must be a permutation of the vertices")
         self._order: List[Vertex] = order
         # Pre-shuffle every list once so passes replay identical tokens.
+        # ``policy`` decides what a self loop in the source adjacency
+        # does: strict raises, repair/skip drop and count it.
+        counts: dict = {}
         self._lists: List[Tuple[Vertex, List[Vertex]]] = []
+        self._scrubbed_edges = 0
         for v in order:
-            neighbors = sorted(graph.neighbors(v), key=repr)
+            raw, loop_counts = scrub_neighbors(graph, v, policy)
+            for kind, count in loop_counts.items():
+                counts[kind] = counts.get(kind, 0) + count
+            neighbors = sorted(raw, key=repr)
             rng.shuffle(neighbors)
             self._lists.append((v, neighbors))
+            self._scrubbed_edges += len(neighbors)
+        emit_fault_counts(counts)
 
     @property
     def num_vertices(self) -> int:
@@ -204,7 +268,13 @@ class AdjacencyListStream(StreamSource):
 
     @property
     def stream_length(self) -> int:
-        return 2 * self._graph.num_edges
+        # 2m for a clean graph; the scrubbed token count when ``repair``
+        # dropped self loops from a malformed source adjacency.
+        return self._scrubbed_edges
+
+    @property
+    def provides_adjacency(self) -> bool:
+        return True
 
     @property
     def vertex_order(self) -> List[Vertex]:
@@ -215,6 +285,18 @@ class AdjacencyListStream(StreamSource):
         for v, neighbors in self._lists:
             for u in neighbors:
                 yield normalize_edge(v, u)
+
+    def _blocks(self) -> Iterator[Tuple[Vertex, List[Vertex]]]:
+        """The raw ``(vertex, neighbors)`` blocks of one pass.
+
+        The protected counterpart of :meth:`adjacency_lists` — no pass
+        accounting, no telemetry — used by stream decorators
+        (:class:`~repro.streams.validation.ValidatedStream`,
+        :class:`~repro.resilience.faults.FaultyStream`) the same way
+        :meth:`StreamSource._tokens` backs :meth:`StreamSource.edges`.
+        """
+        for v, neighbors in self._lists:
+            yield v, list(neighbors)
 
     def adjacency_lists(self) -> Iterator[Tuple[Vertex, List[Vertex]]]:
         """Begin a new pass and yield ``(vertex, neighbor_list)`` blocks.
@@ -228,13 +310,13 @@ class AdjacencyListStream(StreamSource):
             telemetry.metrics.inc("stream.passes")
         tokens = 0
         try:
-            for v, neighbors in self._lists:
+            for v, neighbors in self._blocks():
                 tokens += len(neighbors)
-                yield v, list(neighbors)
+                yield v, neighbors
         finally:
             if telemetry.enabled:
                 telemetry.metrics.inc("stream.edges_consumed", tokens)
 
     def reshuffled(self, seed: int) -> "AdjacencyListStream":
         """An independent adjacency-order instance of the same graph."""
-        return AdjacencyListStream(self._graph, seed=seed)
+        return AdjacencyListStream(self._graph, seed=seed, policy=self._policy)

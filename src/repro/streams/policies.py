@@ -1,0 +1,100 @@
+"""Validation-policy primitives shared by the stream models.
+
+Kept free of any :mod:`repro.streams.models` import so the models can
+use these at construction time while :class:`ValidatedStream` (in
+:mod:`repro.streams.validation`) builds on the models — no cycle.
+
+The three policies:
+
+* ``strict``  — any fault raises :class:`StreamFaultError`;
+* ``repair``  — canonicalize endpoints, drop self-loops and duplicates;
+* ``skip``    — drop faulty tokens, leave valid ones untouched.
+
+Fault counts are emitted through the active :mod:`repro.obs` metrics
+registry under ``stream.faults.<kind>`` (see docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphs.graph import Edge, normalize_edge
+from .. import obs as _obs
+
+POLICY_STRICT = "strict"
+POLICY_REPAIR = "repair"
+POLICY_SKIP = "skip"
+POLICIES = (POLICY_STRICT, POLICY_REPAIR, POLICY_SKIP)
+
+FAULT_METRIC_PREFIX = "stream.faults."
+
+
+class StreamFaultError(ValueError):
+    """A malformed token reached a stream running the ``strict`` policy."""
+
+
+def check_policy(policy: str) -> str:
+    """Validate a policy name, returning it unchanged."""
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown validation policy {policy!r}; expected one of {POLICIES}"
+        )
+    return policy
+
+
+def emit_fault_counts(counts: Dict[str, int]) -> None:
+    """Fold per-pass fault counts into the active metrics registry."""
+    if not counts:
+        return
+    telemetry = _obs.current()
+    if not telemetry.enabled:
+        return
+    for kind, count in counts.items():
+        if count:
+            telemetry.metrics.inc(FAULT_METRIC_PREFIX + kind, count)
+
+
+def scrub_graph_edges(graph, policy: str) -> Tuple[List[Edge], Dict[str, int]]:
+    """The canonical edge list of ``graph``, with self-loops handled.
+
+    ``Graph`` itself rejects self-loops, but a hand-built adjacency
+    structure (or a subclass with looser invariants) can hold ``v`` in
+    its own neighbor set; ``Graph.edges`` would then raise deep inside
+    ``normalize_edge``.  This walks the adjacency directly so the
+    policy decides: ``strict`` raises :class:`StreamFaultError`,
+    ``repair``/``skip`` drop the loop and count it.
+    """
+    check_policy(policy)
+    counts: Dict[str, int] = {}
+    edges: List[Edge] = []
+    for v in graph.vertices():
+        for u in graph.neighbors(v):
+            if u == v:
+                if policy == POLICY_STRICT:
+                    raise StreamFaultError(
+                        f"self loop {v!r}-{v!r} in source graph (strict policy)"
+                    )
+                counts["self_loop"] = counts.get("self_loop", 0) + 1
+                continue
+            edge = normalize_edge(v, u)
+            if edge[0] == v:  # count each undirected edge once
+                edges.append(edge)
+    edges.sort()
+    return edges, counts
+
+
+def scrub_neighbors(graph, vertex, policy: str) -> Tuple[list, Dict[str, int]]:
+    """``graph.neighbors(vertex)`` minus self-loops, per policy."""
+    counts: Dict[str, int] = {}
+    neighbors = []
+    for u in graph.neighbors(vertex):
+        if u == vertex:
+            if policy == POLICY_STRICT:
+                raise StreamFaultError(
+                    f"self loop {vertex!r}-{vertex!r} in source graph "
+                    "(strict policy)"
+                )
+            counts["self_loop"] = counts.get("self_loop", 0) + 1
+            continue
+        neighbors.append(u)
+    return neighbors, counts

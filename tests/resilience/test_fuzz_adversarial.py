@@ -1,0 +1,146 @@
+"""Seeded adversarial fuzz: corrupted streams through every algorithm.
+
+Satellite guarantee: under ``repair``/``skip`` every core algorithm and
+baseline survives duplicated, self-looped, reversed, dropped and
+truncated tokens (and split/shuffled adjacency blocks) without
+crashing — estimates may be wrong, the process may not die.  Under
+``strict`` the corruption is reported as a clean ``ValueError``
+(:class:`StreamFaultError`), never an internal crash.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    BeraChakrabartiFourCycles,
+    CormodeJowhariTriangles,
+    EdgeSamplingFourCycles,
+    EdgeSamplingTriangles,
+    ExactFourCycleStream,
+    ExactTriangleStream,
+    TriestBase,
+    TriestImpr,
+    TwoPassTriangles,
+    WedgePairSamplingFourCycles,
+)
+from repro.core import (
+    FourCycleAdjacencyDiamond,
+    FourCycleArbitraryOnePass,
+    FourCycleArbitraryThreePass,
+    FourCycleDistinguisher,
+    FourCycleL2Sampling,
+    FourCycleMoment,
+    TriangleRandomOrder,
+)
+from repro.experiments import build_workload
+from repro.resilience import FaultPlan, FaultyStream
+from repro.streams import (
+    POLICY_REPAIR,
+    POLICY_SKIP,
+    POLICY_STRICT,
+    AdjacencyListStream,
+    RandomOrderStream,
+    ValidatedStream,
+)
+
+TRI = build_workload("light-triangles", n=120, num_triangles=25, noise_edges=80)
+C4 = build_workload("sparse-four-cycles", n=150, num_cycles=20, noise_edges=60)
+
+# Aggressive but not degenerate: every fault kind fires on these graphs.
+EDGE_PLAN = FaultPlan(
+    duplicate_rate=0.1,
+    self_loop_rate=0.1,
+    reverse_rate=0.1,
+    drop_rate=0.1,
+    truncate_fraction=0.05,
+)
+BLOCK_PLAN = FaultPlan(
+    duplicate_rate=0.1,
+    self_loop_rate=0.1,
+    drop_rate=0.1,
+    split_block_rate=0.3,
+    shuffle_blocks=True,
+    truncate_fraction=0.05,
+)
+
+# (id, stream model, seed -> algorithm); covers every core algorithm
+# and every baseline with a streaming run().
+ALGORITHMS = [
+    ("mv-triangle-ro", "edge-tri", lambda s: TriangleRandomOrder(
+        t_guess=TRI.triangles, epsilon=0.3, seed=s)),
+    ("three-pass-c4", "edge-c4", lambda s: FourCycleArbitraryThreePass(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("one-pass-c4", "edge-c4", lambda s: FourCycleArbitraryOnePass(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("distinguisher-c4", "edge-c4", lambda s: FourCycleDistinguisher(
+        t_guess=C4.four_cycles, c=2.0, seed=s)),
+    ("diamond-c4", "adjacency", lambda s: FourCycleAdjacencyDiamond(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("moment-c4", "adjacency", lambda s: FourCycleMoment(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("l2sampling-c4", "adjacency", lambda s: FourCycleL2Sampling(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("wedge-pair-c4", "adjacency", lambda s: WedgePairSamplingFourCycles(
+        wedge_probability=0.5, seed=s)),
+    ("cormode-jowhari", "edge-tri", lambda s: CormodeJowhariTriangles(
+        t_guess=TRI.triangles)),
+    ("two-pass-tri", "edge-tri", lambda s: TwoPassTriangles(
+        t_guess=TRI.triangles, epsilon=0.3, seed=s)),
+    ("edge-sampling-tri", "edge-tri", lambda s: EdgeSamplingTriangles(
+        p=0.5, seed=s)),
+    ("edge-sampling-c4", "edge-c4", lambda s: EdgeSamplingFourCycles(
+        p=0.5, seed=s)),
+    ("triest-base", "edge-tri", lambda s: TriestBase(memory=60, seed=s)),
+    ("triest-impr", "edge-tri", lambda s: TriestImpr(memory=60, seed=s)),
+    ("bera-chakrabarti-c4", "edge-c4", lambda s: BeraChakrabartiFourCycles(
+        t_guess=C4.four_cycles, epsilon=0.3, seed=s)),
+    ("exact-tri", "edge-tri", lambda s: ExactTriangleStream()),
+    ("exact-c4", "edge-c4", lambda s: ExactFourCycleStream()),
+]
+IDS = [name for name, _, _ in ALGORITHMS]
+
+
+def _corrupted_stream(model, policy, seed):
+    if model == "adjacency":
+        base = AdjacencyListStream(C4.graph, seed=seed)
+        plan = BLOCK_PLAN
+    else:
+        graph = TRI.graph if model == "edge-tri" else C4.graph
+        base = RandomOrderStream(graph, seed=seed)
+        plan = EDGE_PLAN
+    return ValidatedStream(FaultyStream(base, plan, seed=seed + 1000), policy)
+
+
+@pytest.mark.parametrize("name,model,factory", ALGORITHMS, ids=IDS)
+@pytest.mark.parametrize("policy", [POLICY_REPAIR, POLICY_SKIP])
+@pytest.mark.parametrize("fuzz_seed", [0, 1])
+def test_no_crash_under_lenient_policies(name, model, factory, policy, fuzz_seed):
+    stream = _corrupted_stream(model, policy, fuzz_seed)
+    result = factory(fuzz_seed).run(stream)
+    assert math.isfinite(result.estimate)
+    assert result.estimate >= 0.0
+    assert result.passes >= 1
+    assert result.space_items >= 0
+
+
+@pytest.mark.parametrize("name,model,factory", ALGORITHMS, ids=IDS)
+def test_strict_policy_raises_clean_valueerror(name, model, factory):
+    stream = _corrupted_stream(model, POLICY_STRICT, 0)
+    with pytest.raises(ValueError):
+        factory(0).run(stream)
+
+
+@pytest.mark.parametrize(
+    "name,model,factory",
+    [spec for spec in ALGORITHMS if spec[0] in
+     ("mv-triangle-ro", "three-pass-c4", "diamond-c4", "triest-impr")],
+    ids=["mv-triangle-ro", "three-pass-c4", "diamond-c4", "triest-impr"],
+)
+def test_fuzzed_runs_are_deterministic(name, model, factory):
+    first = factory(5).run(_corrupted_stream(model, POLICY_REPAIR, 5))
+    second = factory(5).run(_corrupted_stream(model, POLICY_REPAIR, 5))
+    assert first.estimate == second.estimate
+    assert first.space_items == second.space_items
