@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test bench bench-smoke bench-tables examples all
+.PHONY: install test bench bench-smoke bench-tables examples verify-smoke all
 
 install:
 	pip install -e '.[test]' --no-build-isolation || \
@@ -22,5 +22,13 @@ bench-tables:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+# Guarantee-certification smoke: seed audit over the whole tree, then a
+# quick paper-budget certification of two representative estimators.
+verify-smoke:
+	python -m repro verify seeds
+	python -m repro verify guarantee --algorithm edge-sampling-triangles \
+	  --algorithm mvv-twopass-triangles --budget-from-paper --quick \
+	  --batch 25 --max-trials 50
 
 all: test bench-tables bench

@@ -23,11 +23,11 @@ samples — the ``m^2/T`` space the paper's Theorem 5.3 beats whenever
 from __future__ import annotations
 
 import math
-import random
 from typing import Dict, List, Set, Tuple
 
 from .. import obs as _obs
 from ..core.result import EstimateResult
+from ..seeding import component_rng
 from ..graphs.graph import Edge, normalize_edge
 from ..streams.meter import SpaceMeter
 from ..streams.models import StreamSource
@@ -81,7 +81,7 @@ class BeraChakrabartiFourCycles:
         # m is known up front, so a uniform edge sample is just a
         # pre-drawn stream position (equivalent to, and much faster
         # than, 2k reservoir samplers).
-        rng = random.Random(f"bc-positions-{self.seed}")
+        rng = component_rng("bera-chakrabarti.positions", seed=self.seed)
         positions = [rng.randrange(m) for _ in range(2 * k)]
         wanted: Dict[int, List[int]] = {}
         for slot, pos in enumerate(positions):

@@ -31,7 +31,7 @@ class _EdgeSampling:
     def _collect(self, stream: StreamSource) -> tuple[Graph, SpaceMeter]:
         meter = SpaceMeter()
         telemetry = _obs.current()
-        sample_hash = KWiseHash(k=2, seed=self.seed * 37 + 5)
+        sample_hash = KWiseHash(k=2, seed=self.seed, namespace="edge-sampling.sample")
         graph = Graph()
         with telemetry.tracer.span("pass1:sample", kind="pass"):
             for u, v in stream.edges():

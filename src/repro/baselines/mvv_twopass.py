@@ -64,7 +64,7 @@ class TwoPassTriangles:
         meter = SpaceMeter()
         telemetry = _obs.current()
         p = min(1.0, self.c / (self.epsilon * math.sqrt(self.t_guess)))
-        sample_hash = KWiseHash(k=2, seed=self.seed * 61 + 3)
+        sample_hash = KWiseHash(k=2, seed=self.seed, namespace="mvv-twopass.sample")
 
         # ---- pass 1: the edge sample, indexed by endpoint -------------
         sampled: Set[Edge] = set()

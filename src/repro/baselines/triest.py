@@ -18,22 +18,27 @@ algorithm in experiment E1.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Set
 
 from .. import obs as _obs
 from ..core.result import EstimateResult
 from ..graphs.graph import Vertex
+from ..seeding import component_rng
 from ..streams.meter import SpaceMeter
 from ..streams.models import StreamSource
 
 
 class _ReservoirGraph:
-    """An edge reservoir maintained as an adjacency structure."""
+    """An edge reservoir maintained as an adjacency structure.
 
-    def __init__(self, capacity: int, seed: int) -> None:
+    ``variant`` namespaces the eviction RNG so the base and impr
+    variants (and anything else holding a reservoir at the same seed)
+    draw decorrelated streams.
+    """
+
+    def __init__(self, capacity: int, seed: int, variant: str = "base") -> None:
         self.capacity = capacity
-        self._rng = random.Random(seed)
+        self._rng = component_rng("triest.reservoir", variant, seed=seed)
         self.edges: list = []
         self.adj: Dict[Vertex, Set[Vertex]] = {}
         self.evictions = 0
@@ -96,7 +101,7 @@ class TriestBase:
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
         telemetry = _obs.current()
-        reservoir = _ReservoirGraph(self.memory, seed=self.seed * 41 + 1)
+        reservoir = _ReservoirGraph(self.memory, seed=self.seed, variant="base")
         tau = 0
         t = 0
 
@@ -144,7 +149,7 @@ class TriestImpr:
     def run(self, stream: StreamSource) -> EstimateResult:
         meter = SpaceMeter()
         telemetry = _obs.current()
-        reservoir = _ReservoirGraph(self.memory, seed=self.seed * 41 + 2)
+        reservoir = _ReservoirGraph(self.memory, seed=self.seed, variant="impr")
         tau = 0.0
         t = 0
         m_cap = self.memory

@@ -58,7 +58,9 @@ class WedgePairSamplingFourCycles:
             raise TypeError("WedgePairSamplingFourCycles needs an adjacency-list stream")
         meter = SpaceMeter()
         telemetry = _obs.current()
-        wedge_hash = KWiseHash(k=2, seed=self.seed * 53 + 9)
+        wedge_hash = KWiseHash(
+            k=2, seed=self.seed, namespace="wedge-pair-sampling.wedge"
+        )
         buckets: Dict[Tuple[Vertex, Vertex], int] = {}
 
         with telemetry.tracer.span("pass1:wedge-sample", kind="pass") as span:

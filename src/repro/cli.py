@@ -275,6 +275,217 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_verify_plans(args: argparse.Namespace) -> List[str]:
+    from .verify import PLANS
+
+    names = getattr(args, "algorithm", None)
+    if not names:
+        return sorted(PLANS)
+    unknown = [name for name in names if name not in PLANS]
+    if unknown:
+        known = ", ".join(sorted(PLANS))
+        raise SystemExit(f"unknown algorithm(s) {unknown}; known: {known}")
+    return list(names)
+
+
+def _verify_epsilon_delta(args: argparse.Namespace):
+    from .verify.certify import PAPER_DELTA, PAPER_EPSILON
+
+    if getattr(args, "budget_from_paper", False):
+        return PAPER_EPSILON, PAPER_DELTA
+    return args.epsilon, args.delta
+
+
+def _cmd_verify_guarantee(args: argparse.Namespace) -> int:
+    from .verify import certificates_to_json, certify, certify_checkpoint_key
+    from .verify.report import render_certificates, summarize_verdicts, write_json
+
+    names = _resolve_verify_plans(args)
+    epsilon, delta = _verify_epsilon_delta(args)
+    checkpoint = _checkpoint_context(
+        args,
+        key=certify_checkpoint_key(
+            names, epsilon, delta, args.seed, args.quick, args.batch, args.max_trials
+        ),
+    )
+    with _maybe_trace(args) as telemetry:
+        _record_checkpoint_lineage(telemetry, checkpoint)
+        certificates = [
+            certify(
+                name,
+                epsilon,
+                delta,
+                confidence=args.confidence,
+                batch_size=args.batch,
+                max_trials=args.max_trials,
+                seed=args.seed,
+                n_jobs=args.jobs,
+                quick=args.quick,
+                method=args.method,
+                checkpoint=checkpoint,
+            )
+            for name in names
+        ]
+    print(
+        f"guarantee certification: eps={epsilon} delta={delta:.4f} "
+        f"confidence={args.confidence}"
+    )
+    print(render_certificates(certificates))
+    if args.json:
+        write_json(args.json, certificates_to_json(certificates=certificates))
+        print(f"certificates written to {args.json}")
+    if checkpoint.active:
+        print(
+            f"checkpoint {args.checkpoint}: {checkpoint.hits} batch(es) resumed, "
+            f"{checkpoint.misses} computed"
+        )
+    failing = summarize_verdicts(certificates)["FAIL"]
+    if failing:
+        print(f"FAILED guarantees: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_verify_variance(args: argparse.Namespace) -> int:
+    from .verify import certificates_to_json, check_variance
+    from .verify.report import render_variance, write_json
+
+    names = _resolve_verify_plans(args)
+    epsilon, delta = _verify_epsilon_delta(args)
+    with _maybe_trace(args):
+        reports = [
+            check_variance(
+                name,
+                epsilon,
+                delta,
+                trials=args.trials,
+                seed=args.seed,
+                n_jobs=args.jobs,
+                quick=args.quick,
+            )
+            for name in names
+        ]
+    print(f"variance-ratio checks: eps={epsilon} delta={delta:.4f} trials={args.trials}")
+    print(render_variance(reports))
+    if args.json:
+        write_json(args.json, certificates_to_json(variance_reports=reports))
+        print(f"report written to {args.json}")
+    failing = [report.algorithm for report in reports if report.verdict == "FAIL"]
+    if failing:
+        print(f"FAILED variance checks: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_verify_seeds(args: argparse.Namespace) -> int:
+    from .verify import audit_seeds, default_probes
+    from .verify.report import certificates_to_json, render_seed_audit, write_json
+
+    probes = default_probes()
+    collisions = audit_seeds(probes)
+    print(render_seed_audit(collisions, probes=len(probes)))
+    if args.json:
+        write_json(args.json, certificates_to_json(seed_collisions=collisions))
+        print(f"report written to {args.json}")
+    return 1 if collisions else 0
+
+
+def _cmd_verify_all(args: argparse.Namespace) -> int:
+    from .verify import (
+        audit_seeds,
+        certify,
+        certify_checkpoint_key,
+        check_variance,
+        default_probes,
+    )
+    from .verify.report import (
+        certificates_to_json,
+        render_certificates,
+        render_seed_audit,
+        render_variance,
+        summarize_verdicts,
+        write_json,
+    )
+
+    names = _resolve_verify_plans(args)
+    epsilon, delta = _verify_epsilon_delta(args)
+    probes = default_probes()
+    collisions = audit_seeds(probes)
+    print(render_seed_audit(collisions, probes=len(probes)))
+    checkpoint = _checkpoint_context(
+        args,
+        key=certify_checkpoint_key(
+            names, epsilon, delta, args.seed, args.quick, args.batch, args.max_trials
+        ),
+    )
+    with _maybe_trace(args) as telemetry:
+        _record_checkpoint_lineage(telemetry, checkpoint)
+        certificates = [
+            certify(
+                name,
+                epsilon,
+                delta,
+                confidence=args.confidence,
+                batch_size=args.batch,
+                max_trials=args.max_trials,
+                seed=args.seed,
+                n_jobs=args.jobs,
+                quick=args.quick,
+                method=args.method,
+                checkpoint=checkpoint,
+            )
+            for name in names
+        ]
+        reports = [
+            check_variance(
+                name,
+                epsilon,
+                delta,
+                trials=args.trials,
+                seed=args.seed,
+                n_jobs=args.jobs,
+                quick=args.quick,
+                checkpoint=checkpoint,
+            )
+            for name in names
+        ]
+    print(
+        f"\nguarantee certification: eps={epsilon} delta={delta:.4f} "
+        f"confidence={args.confidence}"
+    )
+    print(render_certificates(certificates))
+    print(f"\nvariance-ratio checks: trials={args.trials}")
+    print(render_variance(reports))
+    if args.json:
+        write_json(
+            args.json,
+            certificates_to_json(
+                certificates=certificates,
+                variance_reports=reports,
+                seed_collisions=collisions,
+            ),
+        )
+        print(f"report written to {args.json}")
+    if checkpoint.active:
+        print(
+            f"checkpoint {args.checkpoint}: {checkpoint.hits} unit(s) resumed, "
+            f"{checkpoint.misses} computed"
+        )
+    failing = summarize_verdicts(certificates)["FAIL"]
+    variance_failing = [r.algorithm for r in reports if r.verdict == "FAIL"]
+    problems = []
+    if collisions:
+        problems.append("seed audit")
+    if failing:
+        problems.append(f"guarantees ({', '.join(failing)})")
+    if variance_failing:
+        problems.append(f"variance ({', '.join(variance_failing)})")
+    if problems:
+        print(f"verification FAILED: {'; '.join(problems)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     # imported lazily: repro.obs.report pulls in experiments.reporting,
     # which would make repro.obs -> repro.experiments a hard cycle
@@ -402,6 +613,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint, recomputing only missing units",
     )
     run_exp.set_defaults(func=_cmd_run_experiment)
+
+    verify = sub.add_parser(
+        "verify", help="statistical guarantee certification (see docs/verification.md)"
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+
+    def _add_verify_common(p, trials_flag=False, certify_flags=False):
+        p.add_argument(
+            "--algorithm",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to this algorithm plan (repeatable; default: all)",
+        )
+        p.add_argument("--epsilon", type=float, default=0.3)
+        p.add_argument(
+            "--delta",
+            type=float,
+            default=1.0 / 3.0,
+            help="target failure probability of the (1 +- eps) guarantee",
+        )
+        p.add_argument(
+            "--budget-from-paper",
+            action="store_true",
+            help="certify at the paper's canonical (eps=0.3, delta=1/3) budget, "
+            "overriding --epsilon/--delta",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent trials (-1 = all cores)",
+        )
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="smaller planted workloads (CI smoke scale)",
+        )
+        p.add_argument(
+            "--json", default=None, metavar="PATH", help="also write results as JSON"
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a JSON-lines telemetry trace (render with `repro obs report`)",
+        )
+        if trials_flag:
+            p.add_argument(
+                "--trials",
+                type=int,
+                default=64,
+                help="trials per variance estimate",
+            )
+        if certify_flags:
+            p.add_argument("--confidence", type=float, default=0.95)
+            p.add_argument(
+                "--batch", type=int, default=25, help="trials per sequential batch"
+            )
+            p.add_argument(
+                "--max-trials",
+                type=int,
+                default=200,
+                help="trial budget before declaring INCONCLUSIVE",
+            )
+            p.add_argument(
+                "--method",
+                choices=["wilson", "clopper-pearson"],
+                default="wilson",
+                help="confidence-interval method for the failure probability",
+            )
+            p.add_argument(
+                "--checkpoint",
+                default=None,
+                metavar="PATH",
+                help="persist each completed batch to this file (atomic JSON lines)",
+            )
+            p.add_argument(
+                "--resume",
+                action="store_true",
+                help="resume from --checkpoint, recomputing only missing batches",
+            )
+
+    guarantee = verify_sub.add_parser(
+        "guarantee",
+        help="certify P(|est - T| > eps T) <= delta with a binomial CI",
+    )
+    _add_verify_common(guarantee, certify_flags=True)
+    guarantee.set_defaults(func=_cmd_verify_guarantee)
+
+    variance = verify_sub.add_parser(
+        "variance", help="empirical vs theoretical variance-ratio checks"
+    )
+    _add_verify_common(variance, trials_flag=True)
+    variance.set_defaults(func=_cmd_verify_variance)
+
+    seeds_cmd = verify_sub.add_parser(
+        "seeds",
+        help="static seed audit: flag components with correlated RNG streams",
+    )
+    seeds_cmd.add_argument(
+        "--json", default=None, metavar="PATH", help="also write results as JSON"
+    )
+    seeds_cmd.set_defaults(func=_cmd_verify_seeds)
+
+    verify_all = verify_sub.add_parser(
+        "all", help="seed audit + guarantee certificates + variance checks"
+    )
+    _add_verify_common(verify_all, trials_flag=True, certify_flags=True)
+    verify_all.set_defaults(func=_cmd_verify_all)
 
     obs = sub.add_parser("obs", help="observability commands")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

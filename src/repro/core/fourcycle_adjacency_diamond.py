@@ -75,12 +75,12 @@ class _ClassInstance:
         self.norm = max(_choose2(boundary), 0.5)
         self.m_bound = max(1.0, 2.0 * t_guess / self.norm)
         self.vertex_hashes = [
-            KWiseHash(k=2, seed=seed * 4 + 1),
-            KWiseHash(k=2, seed=seed * 4 + 2),
+            KWiseHash(k=2, seed=seed, namespace="diamond.vertex[0]"),
+            KWiseHash(k=2, seed=seed, namespace="diamond.vertex[1]"),
         ]
         self.edge_hashes = [
-            KWiseHash(k=2, seed=seed * 4 + 3),
-            KWiseHash(k=2, seed=seed * 4 + 4),
+            KWiseHash(k=2, seed=seed, namespace="diamond.edge[0]"),
+            KWiseHash(k=2, seed=seed, namespace="diamond.edge[1]"),
         ]
         self.sampled: List[Set[Vertex]] = [set(), set()]  # V^1, V^2
         # inverted index: middle vertex w -> sampled endpoints u with

@@ -76,9 +76,9 @@ class FourCycleArbitraryOnePass:
         vertex_prob = min(
             1.0, self.c * math.log(n) * n / (self.epsilon**2 * self.t_guess)
         )
-        vertex_hash = KWiseHash(k=2, seed=self.seed * 977 + 11)
+        vertex_hash = KWiseHash(k=2, seed=self.seed, namespace="fourcycle-onepass.vertex")
         f2_estimator = WedgeF2Estimator(
-            groups=self.groups, group_size=self.group_size, seed=self.seed * 977 + 12
+            groups=self.groups, group_size=self.group_size, seed=self.seed
         )
 
         tracked_neighbors: Dict[Vertex, Set[Vertex]] = {}
@@ -141,12 +141,12 @@ class FourCycleArbitraryOnePass:
         the tracked sets after all updates (deletions remove entries).
         """
         f2_estimator = WedgeF2Estimator(
-            groups=self.groups, group_size=self.group_size, seed=self.seed * 977 + 12
+            groups=self.groups, group_size=self.group_size, seed=self.seed
         )
         vertex_prob = min(
             1.0, self.c * math.log(max(2, n)) * n / (self.epsilon**2 * self.t_guess)
         )
-        vertex_hash = KWiseHash(k=2, seed=self.seed * 977 + 11)
+        vertex_hash = KWiseHash(k=2, seed=self.seed, namespace="fourcycle-onepass.vertex")
         tracked: Dict[Vertex, Set[Vertex]] = {}
         for u, v, delta in updates:
             f2_estimator.process_edge(u, v, delta=delta)

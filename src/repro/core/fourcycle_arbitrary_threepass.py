@@ -83,8 +83,8 @@ class _EdgeOracle:
         self.edge = edge
         self._s_adj = (s1_adj, s2_adj)
         self._select_hash = [
-            KWiseHash(k=2, seed=seed * 6 + 1),
-            KWiseHash(k=2, seed=seed * 6 + 2),
+            KWiseHash(k=2, seed=seed, namespace="threepass.select[0]"),
+            KWiseHash(k=2, seed=seed, namespace="threepass.select[1]"),
         ]
         if 0.0 < p < 0.5:
             q = subsample_q(p)
@@ -241,9 +241,9 @@ class FourCycleArbitraryThreePass:
             self.c * log_factor / (self.epsilon**2 * self.t_guess**0.25),
         )
 
-        edge_hash = KWiseHash(k=2, seed=self.seed * 577 + 1)
-        q1_hash = KWiseHash(k=2, seed=self.seed * 577 + 2)
-        q2_hash = KWiseHash(k=2, seed=self.seed * 577 + 3)
+        edge_hash = KWiseHash(k=2, seed=self.seed, namespace="threepass.edge")
+        q1_hash = KWiseHash(k=2, seed=self.seed, namespace="threepass.q1")
+        q2_hash = KWiseHash(k=2, seed=self.seed, namespace="threepass.q2")
 
         # ---- pass 1: draw S0, Q1/S1, Q2/S2 ---------------------------
         s0_adj: Dict[Vertex, Set[Vertex]] = {}

@@ -71,7 +71,9 @@ class FourCycleDistinguisher:
         meter = SpaceMeter()
         telemetry = _obs.current()
         p = min(1.0, self.c / math.sqrt(self.t_guess))
-        sample_hash = KWiseHash(k=2, seed=self.seed * 101 + 3)
+        sample_hash = KWiseHash(
+            k=2, seed=self.seed, namespace="fourcycle-distinguisher.sample"
+        )
 
         # ---- pass 1: sample edges, collect endpoint set V_S ----------
         sampled_vertices: Set[Vertex] = set()

@@ -26,11 +26,11 @@ the paper describes) and fed to
 
 from __future__ import annotations
 
-import random
 from typing import List, Set
 
 from .. import obs as _obs
 from ..graphs.graph import Vertex, normalize_edge
+from ..seeding import component_rng
 from ..sketches.l2_sampler import L2SamplerBank
 from ..sketches.wedge_f2 import WedgeF2Estimator
 from ..streams.meter import SpaceMeter
@@ -90,11 +90,11 @@ class FourCycleL2Sampling:
         meter = SpaceMeter()
         telemetry = _obs.current()
         f2_estimator = WedgeF2Estimator(
-            groups=self.groups, group_size=self.group_size, seed=self.seed * 389 + 1
+            groups=self.groups, group_size=self.group_size, seed=self.seed
         )
         bank = L2SamplerBank(
             count=self.num_samplers,
-            seed=self.seed * 389 + 2,
+            seed=self.seed,
             rows=self.sampler_rows,
             width=self.sampler_width,
             accept_scale=self.accept_scale,
@@ -127,7 +127,7 @@ class FourCycleL2Sampling:
             ]
             samples = bank.samples(candidates, f2_hat)
 
-            rng = random.Random(f"l2-coin-{self.seed}")
+            rng = component_rng("fourcycle-l2.coin", seed=self.seed)
             successes = 0
             values: List[int] = []
             for _pair, f_estimate in samples:

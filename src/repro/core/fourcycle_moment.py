@@ -88,7 +88,7 @@ class FourCycleMoment:
             1.0,
             self.c * log_factor * n**2 / (self.epsilon**4 * self.t_guess**2),
         )
-        pair_hash = KWiseHash(k=2, seed=self.seed * 733 + 5)
+        pair_hash = KWiseHash(k=2, seed=self.seed, namespace="fourcycle-moment.pair")
         f2_estimator = WedgeF2Estimator(
             groups=self.groups, group_size=self.group_size, seed=self.seed * 733 + 6
         )

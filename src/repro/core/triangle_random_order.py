@@ -136,7 +136,10 @@ class TriangleRandomOrder:
             oracle_prob = 1.0
 
         level_hash = [
-            KWiseHash(k=8, seed=self.seed * 1009 + 13 * i + 1) for i in levels
+            KWiseHash(
+                k=8, seed=self.seed, namespace=f"triangle-random-order.level[{i}]"
+            )
+            for i in levels
         ]
         level_adj: List[_Adjacency] = [dict() for _ in levels]
 

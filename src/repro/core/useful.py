@@ -175,8 +175,8 @@ def bernoulli_vertex_sample(
     """
     from ..sketches.hashing import KWiseHash
 
-    h1 = KWiseHash(k=2, seed=seed * 7 + 1)
-    h2 = KWiseHash(k=2, seed=seed * 7 + 2)
+    h1 = KWiseHash(k=2, seed=seed, namespace="useful.r1")
+    h2 = KWiseHash(k=2, seed=seed, namespace="useful.r2")
     universe = list(vertices)
     r1 = {v for v in universe if h1.bernoulli(v, p)}
     r2 = {v for v in universe if h2.bernoulli(v, p)}

@@ -27,12 +27,24 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from ..seeding import component_rng, numpy_generator
 from .graph import Graph
 
 
-def _generator_rng(seed: int) -> "np.random.Generator":
-    """The deterministic numpy RNG every vectorized generator draws from."""
-    return np.random.Generator(np.random.PCG64(seed))
+def generator_rng(name: str, seed: int) -> "np.random.Generator":
+    """The namespaced numpy RNG a vectorized generator draws from.
+
+    Every generator derives its stream from ``("generator:" + name,
+    seed)`` — never the raw seed — so ``erdos_renyi(seed=7)`` and
+    ``gnm_random_graph(seed=7)`` draw decorrelated randomness.  The
+    seed-audit (``repro verify seeds``) probes exactly this function.
+    """
+    return numpy_generator(f"generator:{name}", seed=seed)
+
+
+def generator_scalar_rng(name: str, seed: int) -> "random.Random":
+    """The namespaced ``random.Random`` a scalar generator draws from."""
+    return component_rng(f"generator:{name}", seed=seed)
 
 
 def _row_blocked_bernoulli(
@@ -69,7 +81,7 @@ def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
-    rng = _generator_rng(seed)
+    rng = generator_rng("erdos-renyi", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -83,7 +95,7 @@ def erdos_renyi_loop(n: int, p: float, seed: int = 0) -> Graph:
     for the vectorized generator's equivalence tests and benchmarks."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("erdos-renyi-loop", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -105,7 +117,7 @@ def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
     max_edges = n * (n - 1) // 2
     if m > max_edges:
         raise ValueError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
-    rng = _generator_rng(seed)
+    rng = generator_rng("gnm", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -134,7 +146,7 @@ def gnm_random_graph_loop(n: int, m: int, seed: int = 0) -> Graph:
     max_edges = n * (n - 1) // 2
     if m > max_edges:
         raise ValueError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("gnm-loop", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -155,7 +167,7 @@ def barabasi_albert(n: int, attach: int, seed: int = 0) -> Graph:
     """
     if attach < 1 or n <= attach:
         raise ValueError(f"need n > attach >= 1, got n={n}, attach={attach}")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("barabasi-albert", seed)
     graph = Graph()
     # seed clique keeps early attachment well defined
     for v in range(attach + 1):
@@ -189,7 +201,7 @@ def chung_lu(weights: Sequence[float], seed: int = 0) -> Graph:
     total = float(weight_arr.sum())
     if total <= 0:
         raise ValueError("weights must have positive sum")
-    rng = _generator_rng(seed)
+    rng = generator_rng("chung-lu", seed)
     graph = Graph()
     n = len(weights)
     for v in range(n):
@@ -212,7 +224,7 @@ def chung_lu_loop(weights: Sequence[float], seed: int = 0) -> Graph:
     total = float(sum(weights))
     if total <= 0:
         raise ValueError("weights must have positive sum")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("chung-lu-loop", seed)
     graph = Graph()
     n = len(weights)
     for v in range(n):
@@ -235,12 +247,12 @@ def power_law_graph(
     """
     if exponent <= 1:
         raise ValueError(f"power-law exponent must exceed 1, got {exponent}")
-    rng = random.Random(f"powerlaw-{seed}")
+    rng = generator_scalar_rng("power-law.weights", seed)
     weights = [
         min_weight * (1.0 - rng.random()) ** (-1.0 / (exponent - 1.0))
         for _ in range(n)
     ]
-    return chung_lu(weights, seed=seed + 1)
+    return chung_lu(weights, seed=seed)
 
 
 def user_item_bipartite(
@@ -262,7 +274,7 @@ def user_item_bipartite(
     """
     if interactions_per_user > items:
         raise ValueError("cannot draw more distinct items than exist")
-    rng = random.Random(f"user-item-{seed}")
+    rng = generator_scalar_rng("user-item", seed)
     population = list(range(users, users + items))
     weights = [
         popularity_boost if i < popular_items else 1 for i in range(items)
@@ -288,7 +300,7 @@ def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
-    rng = _generator_rng(seed)
+    rng = generator_rng("random-bipartite", seed)
     graph = Graph()
     for v in range(a + b):
         graph.add_vertex(v)
@@ -301,7 +313,7 @@ def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
 
 def random_bipartite_loop(a: int, b: int, p: float, seed: int = 0) -> Graph:
     """Legacy scalar-loop random bipartite — distribution reference."""
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("random-bipartite-loop", seed)
     graph = Graph()
     for v in range(a + b):
         graph.add_vertex(v)
@@ -443,7 +455,7 @@ def planted_triangles(
     create additional triangles; callers use the exact counters for the
     true ``T``.
     """
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("planted-triangles", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -485,7 +497,7 @@ def planted_four_cycles(
         raise ValueError(
             f"{num_cycles} disjoint four-cycles need {4 * num_cycles} vertices"
         )
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("planted-four-cycles", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -516,7 +528,7 @@ def planted_diamonds(
     needed = sum(2 + h for h in sizes)
     if needed > n:
         raise ValueError(f"diamonds need {needed} vertices, graph has {n}")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("planted-diamonds", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)
@@ -552,7 +564,7 @@ def heavy_edge_graph(
     needed = 2 + heavy_triangles + 3 * light_triangles
     if needed > n:
         raise ValueError(f"workload needs {needed} vertices, graph has {n}")
-    rng = random.Random(seed)
+    rng = generator_scalar_rng("heavy-edge", seed)
     graph = Graph()
     for v in range(n):
         graph.add_vertex(v)

@@ -29,7 +29,9 @@ class AmsF2Sketch:
         self.groups = groups
         self.group_size = group_size
         count = groups * group_size
-        self._signs: List[KWiseHash] = hash_family(count, k=4, seed=seed)
+        self._signs: List[KWiseHash] = hash_family(
+            count, k=4, seed=seed, namespace="ams.signs"
+        )
         self._accumulators = np.zeros(count, dtype=np.float64)
 
     @property

@@ -46,6 +46,7 @@ class CountSketch:
         width: int = 256,
         seed: int = 0,
         max_cache_entries: Optional[int] = None,
+        namespace: str = "",
     ) -> None:
         if rows < 1 or width < 1:
             raise ValueError("rows and width must be positive")
@@ -56,8 +57,13 @@ class CountSketch:
         self.rows = rows
         self.width = width
         self.max_cache_entries = max_cache_entries
-        self._buckets: List[KWiseHash] = hash_family(rows, k=2, seed=seed * 2 + 1)
-        self._signs: List[KWiseHash] = hash_family(rows, k=4, seed=seed * 2 + 2)
+        prefix = f"{namespace}." if namespace else ""
+        self._buckets: List[KWiseHash] = hash_family(
+            rows, k=2, seed=seed, namespace=f"{prefix}countsketch.buckets"
+        )
+        self._signs: List[KWiseHash] = hash_family(
+            rows, k=4, seed=seed, namespace=f"{prefix}countsketch.signs"
+        )
         self._table = np.zeros((rows, width), dtype=np.float64)
         # per-key (bucket, sign) rows, memoized: streams hit the same
         # coordinate many times (e.g. one wedge-vector entry per wedge).

@@ -20,10 +20,11 @@ per-process hash randomization.
 from __future__ import annotations
 
 import math
-import random
 from typing import Hashable, Iterable, List
 
 import numpy as np
+
+from ..seeding import component_rng
 
 MERSENNE_PRIME = (1 << 61) - 1
 
@@ -124,7 +125,15 @@ def stable_key(value: Hashable) -> int:
             acc = (acc * 1000003 + stable_key(item) + 1) % MERSENNE_PRIME
         return acc
     if isinstance(value, frozenset):
-        return stable_key(tuple(sorted(stable_key(item) for item in value)))
+        # Domain-separated from tuples: a frozenset used to hash as the
+        # tuple of its sorted member keys *by construction*, so e.g.
+        # frozenset({1, 2}) and (1, 2) collided under every hash
+        # function.  A distinct accumulator seed and multiplier keep
+        # the set domain disjoint from the tuple domain.
+        acc = 15485863
+        for item_key in sorted(stable_key(item) for item in value):
+            acc = (acc * 999983 + item_key + 1) % MERSENNE_PRIME
+        return acc
     raise TypeError(f"unsupported hash key type: {type(value).__name__}")
 
 
@@ -136,12 +145,17 @@ class KWiseHash:
     +-1 signs, and small-range buckets.
     """
 
-    def __init__(self, k: int, seed: int) -> None:
+    def __init__(self, k: int, seed: int, namespace: str = "") -> None:
         if k < 1:
             raise ValueError(f"independence degree must be >= 1, got {k}")
-        rng = random.Random(("kwise", k, seed).__repr__())
+        # Coefficients come from a namespaced digest of (k, namespace,
+        # seed) — not the raw seed, and not a tuple-``repr`` — so two
+        # consumers of the family given the same integer seed draw
+        # decorrelated functions as long as their namespaces differ.
+        rng = component_rng("sketch:kwise-hash", k, namespace, seed=seed)
         self.k = k
         self.seed = seed
+        self.namespace = namespace
         # leading coefficient nonzero keeps the polynomial degree exact
         self._coeffs: List[int] = [rng.randrange(1, MERSENNE_PRIME)]
         self._coeffs.extend(rng.randrange(MERSENNE_PRIME) for _ in range(k - 1))
@@ -244,6 +258,16 @@ class KWiseHash:
         return 3
 
 
-def hash_family(count: int, k: int, seed: int) -> List[KWiseHash]:
-    """``count`` independent ``KWiseHash`` functions derived from ``seed``."""
-    return [KWiseHash(k, seed=seed * 1_000_003 + 17 * i + 1) for i in range(count)]
+def hash_family(
+    count: int, k: int, seed: int, namespace: str = ""
+) -> List[KWiseHash]:
+    """``count`` independent ``KWiseHash`` functions derived from ``seed``.
+
+    Member ``i`` lives in the sub-namespace ``f"{namespace}[{i}]"`` —
+    structured derivation, not the old ``seed * 1_000_003 + 17 i + 1``
+    arithmetic whose images could collide with other components' linear
+    seed maps.
+    """
+    return [
+        KWiseHash(k, seed=seed, namespace=f"{namespace}[{i}]") for i in range(count)
+    ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, Iterable, List, Optional, Tuple
 
+from ..seeding import derive_seed
 from .countsketch import CountSketch
 from .hashing import KWiseHash
 
@@ -46,8 +47,10 @@ class L2Sampler:
         if accept_scale <= 1.0:
             raise ValueError(f"accept_scale must exceed 1, got {accept_scale}")
         self.accept_scale = accept_scale
-        self._uniforms = KWiseHash(k=2, seed=seed * 31 + 7)
-        self._sketch = CountSketch(rows=rows, width=width, seed=seed * 31 + 8)
+        self._uniforms = KWiseHash(k=2, seed=seed, namespace="l2-sampler.uniforms")
+        self._sketch = CountSketch(
+            rows=rows, width=width, seed=seed, namespace="l2-sampler"
+        )
         self._scale_cache: dict = {}
 
     def _scale(self, key: Hashable) -> float:
@@ -118,7 +121,7 @@ class L2SamplerBank:
             raise ValueError(f"need at least one sampler, got {count}")
         self._samplers: List[L2Sampler] = [
             L2Sampler(
-                seed=seed * 100_003 + j,
+                seed=derive_seed("sketch:l2-sampler-bank", j, seed=seed),
                 rows=rows,
                 width=width,
                 accept_scale=accept_scale,

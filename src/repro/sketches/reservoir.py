@@ -6,8 +6,9 @@ hold uniform samples of a stream whose length is unknown in advance.
 
 from __future__ import annotations
 
-import random
 from typing import Generic, List, Optional, TypeVar
+
+from ..seeding import component_rng
 
 T = TypeVar("T")
 
@@ -25,7 +26,7 @@ class ReservoirSampler(Generic[T]):
         if capacity < 1:
             raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._rng = random.Random(seed)
+        self._rng = component_rng("sketch:reservoir-sampler", capacity, seed=seed)
         self._items: List[T] = []
         self._offered = 0
         self._evictions = 0
@@ -75,7 +76,7 @@ class UniformItemSampler(Generic[T]):
     """A single uniform item from a stream (reservoir of capacity 1)."""
 
     def __init__(self, seed: int = 0) -> None:
-        self._rng = random.Random(seed)
+        self._rng = component_rng("sketch:uniform-item-sampler", seed=seed)
         self._item: Optional[T] = None
         self._offered = 0
 

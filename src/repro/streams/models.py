@@ -17,11 +17,11 @@ source counts passes so experiments can assert the pass budget.
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Edge, Graph, Vertex, normalize_edge
+from ..seeding import component_rng
 from .. import obs as _obs
 from .policies import (
     POLICY_REPAIR,
@@ -192,7 +192,7 @@ class RandomOrderStream(StreamSource):
         self._policy = check_policy(policy)
         self._edges, counts = scrub_graph_edges(graph, policy)
         emit_fault_counts(counts)
-        random.Random(seed).shuffle(self._edges)
+        component_rng("stream:random-order", seed=seed).shuffle(self._edges)
 
     @property
     def num_vertices(self) -> int:
@@ -233,7 +233,7 @@ class AdjacencyListStream(StreamSource):
         super().__init__()
         self._graph = graph
         self._policy = check_policy(policy)
-        rng = random.Random(seed)
+        rng = component_rng("stream:adjacency-list", seed=seed)
         if vertex_order is None:
             order = sorted(graph.vertices(), key=repr)
             rng.shuffle(order)

@@ -1,0 +1,183 @@
+"""Chebyshev "budget from paper" parameterizations.
+
+Every unbiased estimator in this repo has a closed-form variance on the
+vertex-disjoint planted workloads (no noise edges, so the planted count
+is the *entire* count and per-structure survival events are independent
+Bernoullis).  Chebyshev then converts a variance into a guarantee:
+
+    P(|T_hat - T| > eps T) <= Var / (eps T)^2 <= delta
+    <=>  Var <= delta (eps T)^2.
+
+Each budget function below solves that inequality for the algorithm's
+sampling knob.  Writing ``s = delta * eps^2 * T`` (the *Chebyshev
+slack*, :func:`chebyshev_slack`):
+
+* **edge sampling, triangles** — surviving ~ Bin(T, p^3), so
+  ``Var = T (1 - p^3) / p^3 <= delta (eps T)^2  <=>  p^3 >= 1/(1+s)``.
+* **edge sampling, four-cycles** — same with ``p^4 >= 1/(1+s)``.
+* **wedge-pair sampling** — each planted C4 contributes two
+  independent wedge-pair indicators Bernoulli(p_w^2), so
+  ``Var = T (1 - p_w^2) / (2 p_w^2)`` and ``p_w^2 >= 1/(1+2s)``.
+* **MVV two-pass** — hits ~ Bin(3T, p) (three edges per planted
+  triangle, each an independent witness), ``Var = T (1-p)/(3p)`` and
+  ``p >= 1/(1+3s)``.
+* **Cormode–Jowhari** — each planted triangle closes a prefix wedge
+  with probability ``q = 3 beta^2 (1 - beta)``; ``Var <= T (1-q)/q``
+  needs ``q >= 1/(1+s)``, solved for the prefix fraction ``beta`` by
+  bisection on the increasing branch ``beta in (0, 2/3]``.
+* **TRIEST-impr** — each triangle contributes ``eta(t) B`` with
+  ``B ~ Bernoulli(1/eta(t))``, variance ``eta(t) - 1 <= eta_end - 1``
+  where ``eta_end = (m-1)(m-2) / (M(M-1))``; requiring
+  ``eta_end <= 1 + s`` gives the reservoir size
+  ``M (M-1) >= (m-1)(m-2)/(1+s)`` — the familiar ``M ~ m / sqrt(s)``.
+
+The paper's own multi-pass algorithms (Theorem 2.1 random-order
+triangles, Theorem 5.3 three-pass four-cycles) have no closed-form
+variance here; their budgets run the algorithm at a halved internal
+``eps`` (a constant-factor space increase, exactly the slack the
+theorems absorb into Õ) and certify the *implied* bound
+``Var <= delta (eps T)^2`` empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = [
+    "Budget",
+    "chebyshev_slack",
+    "cormode_jowhari_budget",
+    "edge_sampling_c4_budget",
+    "edge_sampling_triangle_budget",
+    "implied_budget",
+    "mvv_twopass_budget",
+    "triest_impr_budget",
+    "wedge_pair_budget",
+]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Constructor kwargs plus the derived quantities behind them.
+
+    ``params`` go straight into the algorithm constructor (minus the
+    seed, which the trial runner supplies); ``detail`` carries the
+    derived sampling rates and variance bounds for certificates and
+    variance checks.
+    """
+
+    params: Dict[str, Any] = field(default_factory=dict)
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+def chebyshev_slack(epsilon: float, delta: float, truth: float) -> float:
+    """``s = delta * eps^2 * T`` — the headroom Chebyshev leaves."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if truth < 1.0:
+        raise ValueError(f"truth must be >= 1, got {truth}")
+    return delta * epsilon * epsilon * truth
+
+
+def edge_sampling_triangle_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    p = min(1.0, (1.0 / (1.0 + s)) ** (1.0 / 3.0))
+    return Budget(
+        params={"p": p},
+        detail={"p": p, "variance": truth * (1.0 - p**3) / p**3},
+    )
+
+
+def edge_sampling_c4_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    p = min(1.0, (1.0 / (1.0 + s)) ** 0.25)
+    return Budget(
+        params={"p": p},
+        detail={"p": p, "variance": truth * (1.0 - p**4) / p**4},
+    )
+
+
+def wedge_pair_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    p_w = min(1.0, math.sqrt(1.0 / (1.0 + 2.0 * s)))
+    return Budget(
+        params={"wedge_probability": p_w},
+        detail={
+            "p": p_w,
+            "variance": truth * (1.0 - p_w**2) / (2.0 * p_w**2),
+        },
+    )
+
+
+def mvv_twopass_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    p = min(1.0, 1.0 / (1.0 + 3.0 * s))
+    # TwoPassTriangles exposes p as p = min(1, c / (eps sqrt(T))).
+    c = p * epsilon * math.sqrt(truth)
+    return Budget(
+        params={"t_guess": truth, "epsilon": epsilon, "c": c},
+        detail={"p": p, "variance": truth * (1.0 - p) / (3.0 * p)},
+    )
+
+
+def cormode_jowhari_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    q_target = 1.0 / (1.0 + s)
+    q_max = 4.0 / 9.0  # 3 beta^2 (1 - beta) at beta = 2/3
+    if q_target >= q_max:
+        beta = 2.0 / 3.0
+        q = q_max
+    else:
+        lo, hi = 0.0, 2.0 / 3.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if 3.0 * mid * mid * (1.0 - mid) < q_target:
+                lo = mid
+            else:
+                hi = mid
+        beta = 0.5 * (lo + hi)
+        q = 3.0 * beta * beta * (1.0 - beta)
+    c = beta * epsilon * math.sqrt(truth)
+    return Budget(
+        params={"t_guess": truth, "epsilon": epsilon, "c": c},
+        detail={"beta": beta, "q": q, "variance": truth * (1.0 - q) / q},
+    )
+
+
+def triest_impr_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float
+) -> Budget:
+    s = chebyshev_slack(epsilon, delta, truth)
+    target = max(1.0, (m - 1.0) * (m - 2.0) / (1.0 + s))
+    # smallest integer M with M (M - 1) >= target
+    memory = max(6, math.ceil(0.5 + math.sqrt(0.25 + target)))
+    eta_end = max(1.0, (m - 1.0) * (m - 2.0) / (memory * (memory - 1.0)))
+    return Budget(
+        params={"memory": memory},
+        detail={"memory": float(memory), "variance": truth * (eta_end - 1.0)},
+    )
+
+
+def implied_budget(
+    truth: float, m: int, n: int, epsilon: float, delta: float, **params: Any
+) -> Budget:
+    """Budget for the paper's own algorithms: run at ``eps/2`` internally
+    and certify ``Var <= delta (eps T)^2`` as an implied bound."""
+    return Budget(
+        params={"t_guess": truth, "epsilon": epsilon / 2.0, **params},
+        detail={"variance": chebyshev_slack(epsilon, delta, truth) * truth},
+    )

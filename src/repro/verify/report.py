@@ -1,0 +1,112 @@
+"""Rendering for verification results: tables for terminals, JSON for
+machines (CI artifacts, dashboards)."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..experiments.reporting import format_records
+from .certify import Certificate
+from .seeds import SeedCollision
+from .variance import VarianceReport
+
+__all__ = [
+    "certificates_to_json",
+    "render_certificates",
+    "render_seed_audit",
+    "render_variance",
+    "write_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def render_certificates(certificates: Sequence[Certificate]) -> str:
+    """A fixed-width table of certificates, one row per algorithm."""
+    if not certificates:
+        return "(no certificates)"
+    return format_records([certificate.to_record() for certificate in certificates])
+
+
+def render_variance(reports: Sequence[VarianceReport]) -> str:
+    if not reports:
+        return "(no variance reports)"
+    return format_records([report.to_record() for report in reports])
+
+
+def render_seed_audit(collisions: Sequence[SeedCollision], probes: int) -> str:
+    if not collisions:
+        return f"seed audit clean: {probes} probes, no correlated streams"
+    lines = [f"seed audit FAILED: {len(collisions)} collision(s) across {probes} probes"]
+    lines.extend(f"  - {collision.describe()}" for collision in collisions)
+    return "\n".join(lines)
+
+
+def certificates_to_json(
+    certificates: Sequence[Certificate] = (),
+    variance_reports: Sequence[VarianceReport] = (),
+    seed_collisions: "Sequence[SeedCollision] | None" = None,
+) -> Dict[str, Any]:
+    """A JSON-able document bundling one verification run's results."""
+    document: Dict[str, Any] = {
+        "schema": "repro-verify-v1",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    if certificates:
+        document["certificates"] = [
+            {
+                **certificate.to_record(),
+                "ci_low": round(certificate.ci_low, 6),
+                "ci_high": round(certificate.ci_high, 6),
+                "batches": certificate.batches,
+                "truth": certificate.truth,
+                "workload": certificate.workload,
+                "budget": certificate.budget,
+                "problem": certificate.problem,
+                "model": certificate.model,
+            }
+            for certificate in certificates
+        ]
+    if variance_reports:
+        document["variance"] = [
+            {
+                **report.to_record(),
+                "band_low": round(report.band_low, 6),
+                "band_high": round(report.band_high, 6),
+                "mean_estimate": report.mean_estimate,
+                "truth": report.truth,
+            }
+            for report in variance_reports
+        ]
+    if seed_collisions is not None:
+        document["seed_audit"] = {
+            "collisions": [
+                {
+                    "probe_a": collision.probe_a,
+                    "seed_a": collision.seed_a,
+                    "probe_b": collision.probe_b,
+                    "seed_b": collision.seed_b,
+                }
+                for collision in seed_collisions
+            ],
+            "clean": not seed_collisions,
+        }
+    return document
+
+
+def write_json(path: PathLike, document: Dict[str, Any]) -> None:
+    """Write a verification document (pretty-printed, trailing newline)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def summarize_verdicts(certificates: Sequence[Certificate]) -> Dict[str, List[str]]:
+    """Group algorithm names by verdict, for exit-code decisions."""
+    groups: Dict[str, List[str]] = {"PASS": [], "FAIL": [], "INCONCLUSIVE": []}
+    for certificate in certificates:
+        groups.setdefault(certificate.verdict, []).append(certificate.algorithm)
+    return groups

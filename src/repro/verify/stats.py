@@ -1,0 +1,220 @@
+"""Small-sample binomial statistics for guarantee certification.
+
+Certification observes ``k`` failures in ``n`` Monte Carlo trials and
+must decide whether the true failure probability is below the
+theorem's ``delta``.  Everything here is dependency-free (no scipy):
+
+* :func:`wilson_interval` — the Wilson score interval, the default
+  because it is well-behaved at ``k = 0`` (the common case when the
+  paper budget holds).
+* :func:`clopper_pearson_interval` — the exact binomial interval via
+  bisection on the binomial tail; conservative, never anti-
+  conservative, used when a certificate must be airtight.
+* :func:`variance_ratio_bounds` — chi-square acceptance bounds for the
+  empirical/theoretical variance ratio of ``n`` i.i.d. trials
+  (Wilson–Hilferty approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "BinomialCI",
+    "binomial_tail_ge",
+    "chi_square_quantile",
+    "clopper_pearson_interval",
+    "inverse_normal_cdf",
+    "variance_ratio_bounds",
+    "wilson_interval",
+]
+
+
+@dataclass(frozen=True)
+class BinomialCI:
+    """A two-sided confidence interval on a binomial proportion."""
+
+    low: float
+    high: float
+    method: str
+    confidence: float
+
+    def __contains__(self, p: float) -> bool:
+        return self.low <= p <= self.high
+
+
+# ----------------------------------------------------------------------
+# inverse normal CDF (Acklam's rational approximation, |err| < 1.2e-9)
+# ----------------------------------------------------------------------
+_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_P_LOW = 0.02425
+
+
+def inverse_normal_cdf(q: float) -> float:
+    """The standard normal quantile ``Phi^{-1}(q)`` for ``q`` in (0, 1)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile argument must be in (0, 1), got {q}")
+    if q < _P_LOW:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (
+            ((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4]) * u + _C[5]
+        ) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u + _D[3]) * u + 1.0)
+    if q > 1.0 - _P_LOW:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(
+            ((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4]) * u + _C[5]
+        ) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u + _D[3]) * u + 1.0)
+    u = q - 0.5
+    r = u * u
+    return (
+        (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5])
+        * u
+        / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0)
+    )
+
+
+# ----------------------------------------------------------------------
+# Wilson score interval
+# ----------------------------------------------------------------------
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> BinomialCI:
+    """The Wilson score interval for ``successes / trials``."""
+    _check_counts(successes, trials, confidence)
+    z = inverse_normal_cdf(0.5 + confidence / 2.0)
+    n = float(trials)
+    phat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (phat + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n))
+    return BinomialCI(
+        low=max(0.0, center - half),
+        high=min(1.0, center + half),
+        method="wilson",
+        confidence=confidence,
+    )
+
+
+# ----------------------------------------------------------------------
+# exact (Clopper–Pearson) interval via binomial-tail bisection
+# ----------------------------------------------------------------------
+def _log_binom_coeff(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def binomial_tail_ge(k: int, n: int, p: float) -> float:
+    """``P(X >= k)`` for ``X ~ Binomial(n, p)``, computed in log space."""
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for j in range(k, n + 1):
+        total += math.exp(_log_binom_coeff(n, j) + j * log_p + (n - j) * log_q)
+    return min(1.0, total)
+
+
+def _bisect(fn, target: float, lo: float, hi: float, iterations: int = 80) -> float:
+    """Solve ``fn(p) = target`` for ``fn`` monotone increasing on [lo, hi]."""
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if fn(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> BinomialCI:
+    """The exact (Clopper–Pearson) two-sided binomial interval.
+
+    ``low`` solves ``P(X >= k | p) = alpha/2`` and ``high`` solves
+    ``P(X <= k | p) = alpha/2`` — both tails are monotone in ``p``, so
+    plain bisection suffices and no Beta quantile is needed.
+    """
+    _check_counts(successes, trials, confidence)
+    alpha = 1.0 - confidence
+    k, n = successes, trials
+    if k == 0:
+        low = 0.0
+    else:
+        low = _bisect(lambda p: binomial_tail_ge(k, n, p), alpha / 2.0, 0.0, 1.0)
+    if k == n:
+        high = 1.0
+    else:
+        # P(X <= k | p) = 1 - P(X >= k+1 | p) is decreasing in p, so
+        # P(X >= k+1 | p) is increasing: solve it against 1 - alpha/2.
+        high = _bisect(
+            lambda p: binomial_tail_ge(k + 1, n, p), 1.0 - alpha / 2.0, 0.0, 1.0
+        )
+    return BinomialCI(low=low, high=high, method="clopper-pearson", confidence=confidence)
+
+
+def _check_counts(successes: int, trials: int, confidence: float) -> None:
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+
+
+# ----------------------------------------------------------------------
+# chi-square variance-ratio bounds
+# ----------------------------------------------------------------------
+def chi_square_quantile(df: int, q: float) -> float:
+    """The chi-square quantile via the Wilson–Hilferty cube approximation.
+
+    Accurate to a few percent for ``df >= 10`` — plenty for acceptance
+    bands on a Monte Carlo variance ratio.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    z = inverse_normal_cdf(q)
+    a = 2.0 / (9.0 * df)
+    return df * (1.0 - a + z * math.sqrt(a)) ** 3
+
+
+def variance_ratio_bounds(
+    trials: int, confidence: float = 0.99, widen: float = 1.0
+) -> Tuple[float, float]:
+    """Acceptance band for ``sample_var / true_var`` over ``trials`` draws.
+
+    Under normality the ratio is ``chi2(n-1)/(n-1)``; our estimators are
+    sums of many Bernoullis, close enough for an acceptance band.
+    ``widen`` multiplies the upper bound and divides the lower bound to
+    absorb the heavier tails of small-``p`` Bernoulli sums.
+    """
+    if trials < 2:
+        raise ValueError(f"need at least two trials for a variance, got {trials}")
+    if widen < 1.0:
+        raise ValueError(f"widen factor must be >= 1, got {widen}")
+    df = trials - 1
+    alpha = 1.0 - confidence
+    low = chi_square_quantile(df, alpha / 2.0) / df
+    high = chi_square_quantile(df, 1.0 - alpha / 2.0) / df
+    return low / widen, high * widen

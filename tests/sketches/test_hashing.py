@@ -31,6 +31,22 @@ class TestStableKey:
     def test_frozenset_order_free(self):
         assert stable_key(frozenset({1, 2})) == stable_key(frozenset({2, 1}))
 
+    def test_frozenset_distinct_from_sorted_tuple(self):
+        # Regression: frozensets used to hash as the tuple of their
+        # sorted member keys, so frozenset({u, v}) — the undirected-edge
+        # key — collided with the ordered pair (u, v) by construction.
+        for members in ((1, 2), (0, 5, 9), ("a", "b")):
+            ordered = tuple(sorted(members, key=stable_key))
+            assert stable_key(frozenset(members)) != stable_key(ordered)
+
+    def test_frozenset_distinct_from_any_permutation(self):
+        assert stable_key(frozenset({3, 7})) != stable_key((3, 7))
+        assert stable_key(frozenset({3, 7})) != stable_key((7, 3))
+
+    def test_singleton_frozenset_distinct_from_element_and_tuple(self):
+        assert stable_key(frozenset({4})) != stable_key(4)
+        assert stable_key(frozenset({4})) != stable_key((4,))
+
     def test_rejects_unhashable_types(self):
         with pytest.raises(TypeError):
             stable_key(3.14)

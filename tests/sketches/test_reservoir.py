@@ -1,10 +1,24 @@
 """Reservoir sampling: uniformity and eviction reporting."""
 
+import itertools
 from collections import Counter
 
 import pytest
 
 from repro.sketches import ReservoirSampler, UniformItemSampler
+
+
+class _ScriptedRNG:
+    """Replays a fixed sequence of randrange outcomes, validating each
+    request's range — lets tests enumerate every RNG path exactly."""
+
+    def __init__(self, script):
+        self._script = iter(script)
+
+    def randrange(self, n):
+        value = next(self._script)
+        assert 0 <= value < n, f"scripted draw {value} outside range({n})"
+        return value
 
 
 class TestReservoirSampler:
@@ -52,6 +66,76 @@ class TestReservoirSampler:
         reservoir.add("a")
         assert "a" in reservoir
         assert reservoir.offered == 1
+
+
+class TestReservoirExactInclusion:
+    """Exhaustive enumeration of Algorithm R's RNG paths.
+
+    For capacity ``c`` and ``n`` offers the RNG is consulted exactly
+    once per overflow offer, drawing from ``range(c+1) x ... x
+    range(n)``.  Scripting every path makes the inclusion law exact:
+    each item must be retained in precisely ``c/n`` of all paths, and
+    each ``c``-subset must arise equally often — not just in
+    expectation, but as a counting identity.
+    """
+
+    def _enumerate_paths(self, capacity, n):
+        ranges = [range(t) for t in range(capacity + 1, n + 1)]
+        for script in itertools.product(*ranges):
+            reservoir = ReservoirSampler(capacity=capacity, seed=0)
+            reservoir._rng = _ScriptedRNG(script)
+            for item in range(n):
+                reservoir.add(item)
+            yield frozenset(reservoir.items)
+
+    def test_marginal_inclusion_is_exactly_capacity_over_n(self):
+        capacity, n = 2, 5
+        counts = Counter()
+        total = 0
+        for sample in self._enumerate_paths(capacity, n):
+            assert len(sample) == capacity
+            counts.update(sample)
+            total += 1
+        assert total == 3 * 4 * 5
+        # every item retained in exactly c/n = 2/5 of the 60 paths
+        for item in range(n):
+            assert counts[item] == total * capacity // n
+
+    def test_every_subset_equally_likely(self):
+        capacity, n = 2, 5
+        subsets = Counter(self._enumerate_paths(capacity, n))
+        expected_distinct = 10  # C(5, 2)
+        assert len(subsets) == expected_distinct
+        assert len(set(subsets.values())) == 1  # perfectly uniform
+
+    def test_capacity_three_marginals(self):
+        capacity, n = 3, 6
+        counts = Counter()
+        total = 0
+        for sample in self._enumerate_paths(capacity, n):
+            counts.update(sample)
+            total += 1
+        assert total == 4 * 5 * 6
+        for item in range(n):
+            assert counts[item] == total * capacity // n
+
+
+class TestUniformItemSamplerExactInclusion:
+    def test_each_item_selected_in_equal_share_of_paths(self):
+        # Capacity-1 reservoir: RNG draws from range(1) x ... x range(n).
+        n = 4
+        counts = Counter()
+        total = 0
+        for script in itertools.product(*[range(t) for t in range(1, n + 1)]):
+            sampler = UniformItemSampler(seed=0)
+            sampler._rng = _ScriptedRNG(script)
+            for item in range(n):
+                sampler.add(item)
+            counts[sampler.item] += 1
+            total += 1
+        assert total == 24
+        for item in range(n):
+            assert counts[item] == total // n
 
 
 class TestUniformItemSampler:

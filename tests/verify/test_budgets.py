@@ -1,0 +1,140 @@
+"""Chebyshev budget algebra: every knob must satisfy its inequality."""
+
+import math
+
+import pytest
+
+from repro.verify import Budget, chebyshev_slack
+from repro.verify.budgets import (
+    cormode_jowhari_budget,
+    edge_sampling_c4_budget,
+    edge_sampling_triangle_budget,
+    implied_budget,
+    mvv_twopass_budget,
+    triest_impr_budget,
+    wedge_pair_budget,
+)
+
+EPS, DELTA, TRUTH, M, N = 0.3, 1.0 / 3.0, 200.0, 600, 600
+TARGET = DELTA * (EPS * TRUTH) ** 2  # Chebyshev requirement delta (eps T)^2
+
+
+class TestChebyshevSlack:
+    def test_formula(self):
+        assert chebyshev_slack(EPS, DELTA, TRUTH) == pytest.approx(
+            DELTA * EPS * EPS * TRUTH
+        )
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            chebyshev_slack(0.0, DELTA, TRUTH)
+        with pytest.raises(ValueError):
+            chebyshev_slack(EPS, 1.0, TRUTH)
+        with pytest.raises(ValueError):
+            chebyshev_slack(EPS, DELTA, 0.5)
+
+
+class TestEdgeSamplingBudgets:
+    def test_triangle_rate_meets_chebyshev(self):
+        budget = edge_sampling_triangle_budget(TRUTH, M, N, EPS, DELTA)
+        p = budget.params["p"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert 0.0 < p <= 1.0
+        assert p**3 * (1.0 + s) >= 1.0 - 1e-9
+        # variance detail is T (1 - p^3) / p^3 and satisfies the target
+        assert budget.detail["variance"] == pytest.approx(
+            TRUTH * (1.0 - p**3) / p**3
+        )
+        assert budget.detail["variance"] <= TARGET + 1e-6
+
+    def test_c4_rate_meets_chebyshev(self):
+        budget = edge_sampling_c4_budget(TRUTH, M, N, EPS, DELTA)
+        p = budget.params["p"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert p**4 * (1.0 + s) >= 1.0 - 1e-9
+        assert budget.detail["variance"] <= TARGET + 1e-6
+
+    def test_tiny_truth_keeps_rate_near_one(self):
+        # s = delta eps^2 T is minuscule here, so almost no sampling is
+        # allowed: p must stay essentially 1 and the variance negligible.
+        budget = edge_sampling_triangle_budget(1.0, 3, 3, 0.1, 0.01)
+        assert 0.999 < budget.params["p"] <= 1.0
+        small_target = 0.01 * (0.1 * 1.0) ** 2
+        assert budget.detail["variance"] <= small_target + 1e-9
+
+
+class TestWedgePairBudget:
+    def test_rate_meets_chebyshev(self):
+        budget = wedge_pair_budget(TRUTH, M, N, EPS, DELTA)
+        p_w = budget.params["wedge_probability"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert p_w**2 * (1.0 + 2.0 * s) >= 1.0 - 1e-9
+        assert budget.detail["variance"] == pytest.approx(
+            TRUTH * (1.0 - p_w**2) / (2.0 * p_w**2)
+        )
+        assert budget.detail["variance"] <= TARGET + 1e-6
+
+
+class TestMvvBudget:
+    def test_rate_and_c_consistent(self):
+        budget = mvv_twopass_budget(TRUTH, M, N, EPS, DELTA)
+        p = budget.detail["p"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert p == pytest.approx(1.0 / (1.0 + 3.0 * s))
+        # TwoPassTriangles reconstructs p = c / (eps sqrt(T))
+        assert budget.params["c"] == pytest.approx(p * EPS * math.sqrt(TRUTH))
+        # Var = T (1-p)/(3p) = T s = delta eps^2 T^2 exactly at this p
+        assert budget.detail["variance"] == pytest.approx(TARGET)
+
+
+class TestCormodeJowhariBudget:
+    def test_beta_solves_wedge_closure_rate(self):
+        budget = cormode_jowhari_budget(TRUTH, M, N, EPS, DELTA)
+        beta, q = budget.detail["beta"], budget.detail["q"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert 0.0 < beta <= 2.0 / 3.0
+        assert q == pytest.approx(3.0 * beta * beta * (1.0 - beta), abs=1e-9)
+        assert q * (1.0 + s) >= 1.0 - 1e-6
+        assert budget.detail["variance"] <= TARGET + 1e-4
+
+    def test_loose_target_caps_beta(self):
+        # With huge slack the closure rate maxes out at beta = 2/3.
+        budget = cormode_jowhari_budget(1.0, 10, 10, 0.1, 0.1)
+        assert budget.detail["beta"] == pytest.approx(2.0 / 3.0)
+        assert budget.detail["q"] == pytest.approx(4.0 / 9.0)
+
+
+class TestTriestBudget:
+    def test_memory_meets_eta_bound(self):
+        budget = triest_impr_budget(TRUTH, M, N, EPS, DELTA)
+        memory = budget.params["memory"]
+        s = chebyshev_slack(EPS, DELTA, TRUTH)
+        assert memory >= 6
+        assert memory * (memory - 1) * (1.0 + s) >= (M - 1.0) * (M - 2.0) - 1e-6
+        # minimality: one unit less would violate the bound (unless floored)
+        if memory > 6:
+            below = memory - 1
+            assert below * (below - 1) * (1.0 + s) < (M - 1.0) * (M - 2.0)
+        assert budget.detail["variance"] <= TARGET + 1e-6
+
+
+class TestImpliedBudget:
+    def test_halves_internal_epsilon(self):
+        budget = implied_budget(TRUTH, M, N, EPS, DELTA)
+        assert budget.params["epsilon"] == pytest.approx(EPS / 2.0)
+        assert budget.params["t_guess"] == TRUTH
+
+    def test_variance_is_chebyshev_requirement(self):
+        budget = implied_budget(TRUTH, M, N, EPS, DELTA)
+        assert budget.detail["variance"] == pytest.approx(TARGET)
+
+    def test_extra_params_forwarded(self):
+        budget = implied_budget(TRUTH, M, N, EPS, DELTA, levels=4)
+        assert budget.params["levels"] == 4
+
+
+class TestBudgetDataclass:
+    def test_defaults_empty(self):
+        budget = Budget()
+        assert budget.params == {}
+        assert budget.detail == {}

@@ -1,0 +1,194 @@
+"""Certification loop: verdicts, early stopping, checkpoint resume.
+
+A stub coin-flip "algorithm" with a controllable failure rate is
+registered as a temporary plan, so every verdict branch is exercised
+deterministically and cheaply; one real (quick) plan run keeps the
+stub honest against the actual registry.
+"""
+
+import json
+
+import pytest
+
+from repro.core.result import EstimateResult
+from repro.graphs.generators import planted_triangles
+from repro.seeding import component_rng
+from repro.streams.meter import SpaceMeter
+from repro.verify import PLANS, certify, certify_all, certify_checkpoint_key
+from repro.verify.budgets import Budget
+from repro.verify.certify import PAPER_DELTA, PAPER_EPSILON, GuaranteePlan
+from repro.resilience.checkpoint import Checkpoint, CheckpointContext
+
+_TRUTH = 2.0
+
+
+class _CoinAlgorithm:
+    """Estimates exactly right, except it 'fails' (returns 0) at a
+    seed-determined Bernoulli rate — a controllable guarantee."""
+
+    def __init__(self, fail_rate: float, seed: int = 0) -> None:
+        self.fail_rate = fail_rate
+        self.seed = seed
+
+    def run(self, stream) -> EstimateResult:
+        rng = component_rng("test:verify-coin", seed=self.seed)
+        failed = rng.random() < self.fail_rate
+        return EstimateResult(
+            estimate=0.0 if failed else _TRUTH,
+            passes=1,
+            space=SpaceMeter(),
+            algorithm="stub-coin",
+        )
+
+
+def _stub_workload(seed: int, quick: bool):
+    return planted_triangles(6, 2, extra_edges=0, seed=seed), _TRUTH
+
+
+def _make_budget(fail_rate: float):
+    def build(truth, m, n, epsilon, delta):
+        return Budget(params={"fail_rate": fail_rate}, detail={"variance": 1.0})
+
+    return build
+
+
+@pytest.fixture
+def stub_plan():
+    """Register a coin-flip plan under a throwaway name; yields a
+    function that re-points its failure rate."""
+    name = "stub-coin-plan"
+
+    def install(fail_rate: float) -> str:
+        PLANS[name] = GuaranteePlan(
+            name=name,
+            theorem="stub",
+            problem="triangles",
+            model="arbitrary",
+            algorithm=_CoinAlgorithm,
+            workload=_stub_workload,
+            budget=_make_budget(fail_rate),
+        )
+        return name
+
+    yield install
+    PLANS.pop(name, None)
+
+
+class TestVerdicts:
+    def test_perfect_algorithm_passes_first_batch(self, stub_plan):
+        certificate = certify(stub_plan(0.0), batch_size=25, max_trials=200)
+        assert certificate.verdict == "PASS"
+        assert certificate.trials == 25  # early stop: one batch sufficed
+        assert certificate.failures == 0
+        assert certificate.batches == 1
+        assert certificate.ci_high <= PAPER_DELTA
+
+    def test_broken_algorithm_fails_fast(self, stub_plan):
+        certificate = certify(stub_plan(1.0), batch_size=25, max_trials=200)
+        assert certificate.verdict == "FAIL"
+        assert certificate.trials == 25
+        assert certificate.failures == 25
+        assert certificate.ci_low > PAPER_DELTA
+
+    def test_borderline_rate_is_inconclusive_with_bound(self, stub_plan):
+        # Failure rate right at delta: the interval straddles it and the
+        # trial budget runs out — but the certificate still carries a bound.
+        certificate = certify(
+            stub_plan(PAPER_DELTA), batch_size=10, max_trials=30, seed=3
+        )
+        assert certificate.verdict == "INCONCLUSIVE"
+        assert certificate.trials == 30
+        assert certificate.ci_low <= PAPER_DELTA <= certificate.ci_high
+
+    def test_clopper_pearson_method(self, stub_plan):
+        certificate = certify(
+            stub_plan(0.0), batch_size=25, max_trials=50, method="clopper-pearson"
+        )
+        assert certificate.verdict == "PASS"
+        assert certificate.method == "clopper-pearson"
+
+    def test_deterministic_in_seed(self, stub_plan):
+        name = stub_plan(0.2)
+        a = certify(name, batch_size=20, max_trials=40, seed=5)
+        b = certify(name, batch_size=20, max_trials=40, seed=5)
+        assert a.to_record() == b.to_record()
+        assert a.ci_low == b.ci_low and a.ci_high == b.ci_high
+
+
+class TestValidation:
+    def test_unknown_plan(self):
+        with pytest.raises(KeyError, match="unknown guarantee plan"):
+            certify("no-such-plan")
+
+    def test_batch_size_positive(self, stub_plan):
+        with pytest.raises(ValueError):
+            certify(stub_plan(0.0), batch_size=0)
+
+    def test_max_trials_at_least_batch(self, stub_plan):
+        with pytest.raises(ValueError):
+            certify(stub_plan(0.0), batch_size=50, max_trials=10)
+
+    def test_unknown_method(self, stub_plan):
+        with pytest.raises(ValueError, match="interval method"):
+            certify(stub_plan(0.0), method="bayes")
+
+
+class TestCheckpointResume:
+    def test_resume_replays_batches_bit_identical(self, stub_plan, tmp_path):
+        name = stub_plan(0.1)
+        path = tmp_path / "verify.ckpt"
+        key = certify_checkpoint_key([name], PAPER_EPSILON, PAPER_DELTA, 0, False, 10, 30)
+
+        first_ctx = CheckpointContext(Checkpoint(path, key))
+        first = certify(name, batch_size=10, max_trials=30, checkpoint=first_ctx)
+        assert first_ctx.misses > 0 and first_ctx.hits == 0
+
+        resumed_ctx = CheckpointContext(Checkpoint(path, key, resume=True))
+        resumed = certify(name, batch_size=10, max_trials=30, checkpoint=resumed_ctx)
+        assert resumed_ctx.hits == first_ctx.misses
+        assert resumed_ctx.misses == 0
+        assert resumed.to_record() == first.to_record()
+
+    def test_checkpoint_key_depends_on_config(self):
+        base = certify_checkpoint_key(["a"], 0.3, 0.33, 0, False, 25, 200)
+        assert base != certify_checkpoint_key(["a"], 0.2, 0.33, 0, False, 25, 200)
+        assert base != certify_checkpoint_key(["a"], 0.3, 0.33, 1, False, 25, 200)
+        assert base != certify_checkpoint_key(["b"], 0.3, 0.33, 0, False, 25, 200)
+        # name order must not matter
+        assert certify_checkpoint_key(
+            ["a", "b"], 0.3, 0.33, 0, False, 25, 200
+        ) == certify_checkpoint_key(["b", "a"], 0.3, 0.33, 0, False, 25, 200)
+
+
+class TestRealPlans:
+    def test_registry_covers_required_algorithms(self):
+        required = {
+            "edge-sampling-triangles",
+            "edge-sampling-fourcycles",
+            "wedge-pair-sampling",
+            "mvv-twopass-triangles",
+            "cormode-jowhari",
+            "triest-impr",
+            "triangle-random-order",
+            "threepass-fourcycles",
+        }
+        assert required <= set(PLANS)
+
+    def test_quick_edge_sampling_certifies(self):
+        certificate = certify(
+            "edge-sampling-triangles", quick=True, batch_size=25, max_trials=50
+        )
+        # never silently FAIL at the paper budget: PASS, or INCONCLUSIVE
+        # with an explicit interval.
+        assert certificate.verdict in ("PASS", "INCONCLUSIVE")
+        assert 0.0 <= certificate.ci_low <= certificate.ci_high <= 1.0
+        assert certificate.epsilon == PAPER_EPSILON
+
+    def test_certificate_record_is_jsonable(self, stub_plan):
+        certificate = certify(stub_plan(0.0), batch_size=10, max_trials=10)
+        json.dumps(certificate.to_record())
+
+    def test_certify_all_subset_order(self, stub_plan):
+        name = stub_plan(0.0)
+        certificates = certify_all([name, name], batch_size=10, max_trials=10)
+        assert [c.algorithm for c in certificates] == [name, name]

@@ -1,0 +1,145 @@
+"""The ``repro verify`` command family, end to end through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifySeeds:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["verify", "seeds"]) == 0
+        output = capsys.readouterr().out
+        assert "clean" in output
+
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "seeds.json"
+        assert main(["verify", "seeds", "--json", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-verify-v1"
+        assert document["seed_audit"]["clean"] is True
+        assert document["seed_audit"]["collisions"] == []
+
+
+class TestVerifyGuarantee:
+    def test_quick_certification_exits_zero(self, capsys):
+        code = main(
+            [
+                "verify",
+                "guarantee",
+                "--algorithm",
+                "edge-sampling-triangles",
+                "--budget-from-paper",
+                "--quick",
+                "--batch",
+                "25",
+                "--max-trials",
+                "50",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "edge-sampling-triangles" in output
+        assert "PASS" in output or "INCONCLUSIVE" in output
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "guarantee", "--algorithm", "nope"])
+
+    def test_json_document(self, tmp_path, capsys):
+        out = tmp_path / "cert.json"
+        code = main(
+            [
+                "verify",
+                "guarantee",
+                "--algorithm",
+                "mvv-twopass-triangles",
+                "--quick",
+                "--batch",
+                "25",
+                "--max-trials",
+                "25",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        rows = document["certificates"]
+        assert rows[0]["algorithm"] == "mvv-twopass-triangles"
+        assert rows[0]["verdict"] in ("PASS", "FAIL", "INCONCLUSIVE")
+        assert "seed_audit" not in document  # guarantee-only document
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "verify.ckpt"
+        argv = [
+            "verify",
+            "guarantee",
+            "--algorithm",
+            "edge-sampling-triangles",
+            "--quick",
+            "--batch",
+            "25",
+            "--max-trials",
+            "25",
+            "--checkpoint",
+            str(path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        # the certificate table itself is identical across the resume
+        assert [l for l in first.splitlines() if "edge-sampling" in l] == [
+            l for l in second.splitlines() if "edge-sampling" in l
+        ]
+
+
+class TestVerifyVariance:
+    def test_single_algorithm(self, capsys):
+        code = main(
+            [
+                "verify",
+                "variance",
+                "--algorithm",
+                "edge-sampling-triangles",
+                "--quick",
+                "--trials",
+                "16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ratio" in output
+
+
+class TestVerifyAll:
+    def test_two_algorithms_with_json(self, tmp_path, capsys):
+        out = tmp_path / "all.json"
+        code = main(
+            [
+                "verify",
+                "all",
+                "--algorithm",
+                "edge-sampling-triangles",
+                "--algorithm",
+                "mvv-twopass-triangles",
+                "--budget-from-paper",
+                "--quick",
+                "--batch",
+                "25",
+                "--max-trials",
+                "50",
+                "--trials",
+                "16",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["seed_audit"]["clean"] is True
+        assert len(document["certificates"]) == 2
+        assert len(document["variance"]) == 2

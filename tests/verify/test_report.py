@@ -1,0 +1,63 @@
+"""Rendering and JSON document assembly for verification results."""
+
+import json
+
+from repro.verify import certificates_to_json, render_certificates
+from repro.verify.certify import Certificate
+from repro.verify.report import summarize_verdicts, write_json
+
+
+def _certificate(name="alg", verdict="PASS"):
+    return Certificate(
+        algorithm=name,
+        theorem="thm",
+        problem="triangles",
+        model="arbitrary",
+        epsilon=0.3,
+        delta=1.0 / 3.0,
+        confidence=0.95,
+        method="wilson",
+        trials=25,
+        failures=0,
+        ci_low=0.0,
+        ci_high=0.1332,
+        verdict=verdict,
+        batches=1,
+        truth=60.0,
+    )
+
+
+class TestRendering:
+    def test_table_has_row_per_certificate(self):
+        table = render_certificates([_certificate("a"), _certificate("b")])
+        assert "a" in table and "b" in table and "PASS" in table
+
+    def test_empty_placeholder(self):
+        assert render_certificates([]) == "(no certificates)"
+
+
+class TestDocument:
+    def test_document_shape_and_roundtrip(self, tmp_path):
+        document = certificates_to_json(certificates=[_certificate()])
+        assert document["schema"] == "repro-verify-v1"
+        assert document["certificates"][0]["algorithm"] == "alg"
+        assert "seed_audit" not in document
+        path = tmp_path / "out" / "doc.json"
+        write_json(path, document)  # creates the parent directory
+        assert json.loads(path.read_text()) == document
+
+    def test_seed_audit_key_gated_on_audit_having_run(self):
+        with_audit = certificates_to_json(seed_collisions=[])
+        assert with_audit["seed_audit"]["clean"] is True
+        without_audit = certificates_to_json(seed_collisions=None)
+        assert "seed_audit" not in without_audit
+
+
+class TestSummarize:
+    def test_groups_by_verdict(self):
+        groups = summarize_verdicts(
+            [_certificate("a", "PASS"), _certificate("b", "FAIL")]
+        )
+        assert groups["PASS"] == ["a"]
+        assert groups["FAIL"] == ["b"]
+        assert groups["INCONCLUSIVE"] == []

@@ -1,0 +1,163 @@
+"""Binomial intervals and chi-square bands against textbook values."""
+
+import math
+
+import pytest
+
+from repro.verify import (
+    clopper_pearson_interval,
+    inverse_normal_cdf,
+    variance_ratio_bounds,
+    wilson_interval,
+)
+from repro.verify.stats import binomial_tail_ge, chi_square_quantile
+
+
+class TestInverseNormal:
+    def test_median(self):
+        assert inverse_normal_cdf(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_quantiles(self):
+        assert inverse_normal_cdf(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert inverse_normal_cdf(0.995) == pytest.approx(2.575829, abs=1e-5)
+        assert inverse_normal_cdf(0.01) == pytest.approx(-2.326348, abs=1e-5)
+
+    def test_symmetry(self):
+        for q in (0.01, 0.1, 0.25, 0.4):
+            assert inverse_normal_cdf(q) == pytest.approx(
+                -inverse_normal_cdf(1.0 - q), abs=1e-9
+            )
+
+    def test_monotone(self):
+        qs = [0.001, 0.01, 0.2, 0.5, 0.8, 0.99, 0.999]
+        values = [inverse_normal_cdf(q) for q in qs]
+        assert values == sorted(values)
+
+    def test_validates_domain(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                inverse_normal_cdf(q)
+
+
+class TestWilson:
+    def test_zero_failures_known_value(self):
+        ci = wilson_interval(0, 20, 0.95)
+        assert ci.low == 0.0
+        assert ci.high == pytest.approx(0.161125, abs=1e-5)
+
+    def test_five_of_fifty_known_value(self):
+        ci = wilson_interval(5, 50, 0.95)
+        assert ci.low == pytest.approx(0.043476, abs=1e-5)
+        assert ci.high == pytest.approx(0.213602, abs=1e-5)
+
+    def test_contains_point_estimate(self):
+        for k, n in ((0, 10), (3, 10), (10, 10), (17, 40)):
+            ci = wilson_interval(k, n)
+            assert k / n in ci
+
+    def test_narrows_with_trials(self):
+        wide = wilson_interval(2, 20)
+        narrow = wilson_interval(20, 200)
+        assert narrow.high - narrow.low < wide.high - wide.low
+
+    def test_upper_monotone_in_failures(self):
+        highs = [wilson_interval(k, 40).high for k in range(0, 41, 5)]
+        assert highs == sorted(highs)
+
+    def test_validates_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.0)
+
+
+class TestClopperPearson:
+    def test_zero_failures_closed_form(self):
+        # k = 0: upper solves (1-p)^n = alpha/2 exactly.
+        ci = clopper_pearson_interval(0, 20, 0.95)
+        assert ci.low == 0.0
+        assert ci.high == pytest.approx(1.0 - 0.025 ** (1.0 / 20.0), abs=1e-6)
+
+    def test_all_failures_closed_form(self):
+        ci = clopper_pearson_interval(20, 20, 0.95)
+        assert ci.high == 1.0
+        assert ci.low == pytest.approx(0.025 ** (1.0 / 20.0), abs=1e-6)
+
+    def test_five_of_fifty_textbook(self):
+        ci = clopper_pearson_interval(5, 50, 0.95)
+        assert ci.low == pytest.approx(0.033275, abs=1e-5)
+        assert ci.high == pytest.approx(0.218135, abs=1e-5)
+
+    def test_conservative_versus_wilson(self):
+        # The exact interval always contains the Wilson interval's span.
+        for k, n in ((0, 25), (4, 25), (12, 25)):
+            cp = clopper_pearson_interval(k, n)
+            wilson = wilson_interval(k, n)
+            assert cp.low <= wilson.low + 1e-9
+            assert cp.high >= wilson.high - 1e-9
+
+    def test_coverage_is_exact_at_bounds(self):
+        # At the returned upper bound, P(X <= k) == alpha/2 by definition.
+        k, n = 3, 30
+        ci = clopper_pearson_interval(k, n, 0.95)
+        assert 1.0 - binomial_tail_ge(k + 1, n, ci.high) == pytest.approx(
+            0.025, abs=1e-6
+        )
+        assert binomial_tail_ge(k, n, ci.low) == pytest.approx(0.025, abs=1e-6)
+
+
+class TestBinomialTail:
+    def test_exact_small_cases(self):
+        assert binomial_tail_ge(1, 2, 0.5) == pytest.approx(0.75)
+        assert binomial_tail_ge(2, 3, 0.5) == pytest.approx(0.5)
+        assert binomial_tail_ge(0, 10, 0.3) == 1.0
+        assert binomial_tail_ge(11, 10, 0.3) == 0.0
+
+    def test_degenerate_probabilities(self):
+        assert binomial_tail_ge(3, 10, 0.0) == 0.0
+        assert binomial_tail_ge(3, 10, 1.0) == 1.0
+
+    def test_monotone_in_p(self):
+        values = [binomial_tail_ge(5, 20, p) for p in (0.1, 0.25, 0.5, 0.75)]
+        assert values == sorted(values)
+
+
+class TestChiSquare:
+    def test_median_near_df(self):
+        # chi2 median is roughly df (1 - 2/(9 df))^3.
+        assert chi_square_quantile(10, 0.5) == pytest.approx(9.3418, rel=0.01)
+
+    def test_monotone_in_quantile(self):
+        values = [chi_square_quantile(20, q) for q in (0.01, 0.25, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_validates_df(self):
+        with pytest.raises(ValueError):
+            chi_square_quantile(0, 0.5)
+
+
+class TestVarianceRatioBounds:
+    def test_band_straddles_one(self):
+        low, high = variance_ratio_bounds(64)
+        assert low < 1.0 < high
+
+    def test_band_tightens_with_trials(self):
+        low_small, high_small = variance_ratio_bounds(16)
+        low_big, high_big = variance_ratio_bounds(256)
+        assert high_big - low_big < high_small - low_small
+
+    def test_widen_scales_band(self):
+        low, high = variance_ratio_bounds(64, widen=1.0)
+        wlow, whigh = variance_ratio_bounds(64, widen=2.0)
+        assert wlow == pytest.approx(low / 2.0)
+        assert whigh == pytest.approx(high * 2.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            variance_ratio_bounds(1)
+        with pytest.raises(ValueError):
+            variance_ratio_bounds(10, widen=0.5)

@@ -1,0 +1,61 @@
+"""Unbiasedness of the closed-form estimators on planted workloads.
+
+Each plan's budget carries the estimator's exact variance, so the mean
+of N independent trials must land within a few standard errors of the
+truth — a direct empirical check of E[T_hat] = T.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import run_trials
+from repro.verify import PLANS
+from repro.verify.certify import PAPER_DELTA, PAPER_EPSILON
+
+# The exact-variance plans: for these, Var is known in closed form and
+# the standard-error bound below is honest (not just an upper bound).
+EXACT_PLANS = (
+    "edge-sampling-triangles",
+    "edge-sampling-fourcycles",
+    "wedge-pair-sampling",
+    "mvv-twopass-triangles",
+)
+
+TRIALS = 160
+
+
+@pytest.mark.parametrize("name", EXACT_PLANS)
+def test_mean_estimate_tracks_truth(name):
+    built = PLANS[name].build(PAPER_EPSILON, PAPER_DELTA, seed=0, quick=True)
+    stats = run_trials(
+        built.algorithm_factory,
+        built.stream_factory,
+        truth=built.truth,
+        trials=TRIALS,
+        base_seed=11,
+    )
+    mean = sum(stats.estimates) / len(stats.estimates)
+    variance = built.budget.detail["variance"]
+    standard_error = math.sqrt(variance / TRIALS)
+    # 4.5 sigma: false-failure probability ~ 7e-6 per plan
+    tolerance = 4.5 * standard_error if variance > 0 else 1e-9
+    assert abs(mean - built.truth) <= max(tolerance, 1e-9), (
+        f"{name}: mean {mean:.2f} vs truth {built.truth:.2f} "
+        f"(tolerance {tolerance:.2f})"
+    )
+
+
+def test_upper_bound_plan_mean_within_loose_band():
+    # TRIEST-impr's variance is only a bound; its mean must still track.
+    built = PLANS["triest-impr"].build(PAPER_EPSILON, PAPER_DELTA, seed=0, quick=True)
+    stats = run_trials(
+        built.algorithm_factory,
+        built.stream_factory,
+        truth=built.truth,
+        trials=96,
+        base_seed=13,
+    )
+    mean = sum(stats.estimates) / len(stats.estimates)
+    standard_error = math.sqrt(built.budget.detail["variance"] / 96)
+    assert abs(mean - built.truth) <= max(4.5 * standard_error, 1e-9)

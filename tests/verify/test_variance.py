@@ -1,0 +1,74 @@
+"""Empirical-vs-theoretical variance checks.
+
+The exact-kind check is the sharp end of the seeding work: on the
+noise-free planted workloads the closed-form variances are exact, so
+the empirical ratio must sit inside the chi-square band — correlated
+RNG streams would collapse it.
+"""
+
+import pytest
+
+from repro.verify import VarianceReport, check_variance
+from repro.verify.variance import CHI_SQUARE_WIDEN, _band_verdict, check_variance_all
+
+
+class TestExactKind:
+    def test_edge_sampling_ratio_inside_band(self):
+        report = check_variance("edge-sampling-triangles", trials=48, quick=True)
+        assert report.kind == "exact"
+        assert report.verdict in ("OK", "SUSPECT")
+        # a correlated-stream regression collapses the ratio toward 0
+        assert report.ratio > report.band_low / 3.0
+        assert report.ratio < report.band_high * 3.0
+        # the trials themselves should track the truth
+        assert report.mean_estimate == pytest.approx(report.truth, rel=0.25)
+
+    def test_report_record_shape(self):
+        report = check_variance("edge-sampling-triangles", trials=16, quick=True)
+        record = report.to_record()
+        assert record["algorithm"] == "edge-sampling-triangles"
+        assert set(record) >= {"kind", "verdict", "trials", "ratio", "band"}
+
+
+class TestUpperBoundKind:
+    def test_triest_ratio_below_slack(self):
+        report = check_variance("triest-impr", trials=24, quick=True)
+        assert report.kind == "upper-bound"
+        assert report.verdict in ("OK", "SUSPECT")
+        assert report.ratio <= report.band_high * 3.0
+
+
+class TestValidation:
+    def test_unknown_plan(self):
+        with pytest.raises(KeyError, match="unknown guarantee plan"):
+            check_variance("no-such-plan")
+
+    def test_minimum_trials(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            check_variance("edge-sampling-triangles", trials=4)
+
+
+class TestBandVerdict:
+    def test_inside_band(self):
+        assert _band_verdict(1.0, 0.5, 1.5) == "OK"
+
+    def test_near_miss_is_suspect(self):
+        assert _band_verdict(2.0, 0.5, 1.5) == "SUSPECT"
+        assert _band_verdict(0.2, 0.5, 1.5) == "SUSPECT"
+
+    def test_collapse_is_fail(self):
+        # a ratio near zero — the correlated-stream signature — fails
+        assert _band_verdict(0.01, 0.5, 1.5) == "FAIL"
+        assert _band_verdict(10.0, 0.5, 1.5) == "FAIL"
+
+    def test_widen_constant_sane(self):
+        assert CHI_SQUARE_WIDEN >= 1.0
+
+
+class TestCheckAll:
+    def test_named_subset(self):
+        reports = check_variance_all(
+            ["edge-sampling-triangles"], trials=16, quick=True
+        )
+        assert [r.algorithm for r in reports] == ["edge-sampling-triangles"]
+        assert all(isinstance(r, VarianceReport) for r in reports)
